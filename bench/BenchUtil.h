@@ -1,0 +1,58 @@
+//===- bench/BenchUtil.h - Shared bench plumbing ----------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Environment-configurable knobs shared by the table/figure benches.
+/// The paper's setup is a 2x AMD EPYC server with 300-second timeouts and
+/// tens of thousands of constraints; this reproduction defaults to
+/// laptop-scale settings (documented in EXPERIMENTS.md):
+///
+///   STAUB_BENCH_TIMEOUT  per-constraint timeout in seconds (default 1.0;
+///                        the paper uses 300)
+///   STAUB_BENCH_COUNT    instances per logic suite (default 24; the
+///                        paper's suites have 1.7k-25k)
+///   STAUB_BENCH_SEED     generator seed (default 42)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_BENCH_BENCHUTIL_H
+#define STAUB_BENCH_BENCHUTIL_H
+
+#include "benchgen/Generators.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace staub {
+
+inline double benchTimeoutSeconds() {
+  if (const char *Env = std::getenv("STAUB_BENCH_TIMEOUT"))
+    return std::max(0.05, std::atof(Env));
+  return 1.0;
+}
+
+inline unsigned benchCount() {
+  if (const char *Env = std::getenv("STAUB_BENCH_COUNT"))
+    return static_cast<unsigned>(std::max(1, std::atoi(Env)));
+  return 24;
+}
+
+inline uint64_t benchSeed() {
+  if (const char *Env = std::getenv("STAUB_BENCH_SEED"))
+    return static_cast<uint64_t>(std::atoll(Env));
+  return 42;
+}
+
+inline BenchConfig benchConfig() {
+  BenchConfig Config;
+  Config.Seed = benchSeed();
+  Config.Count = benchCount();
+  return Config;
+}
+
+} // namespace staub
+
+#endif // STAUB_BENCH_BENCHUTIL_H

@@ -1,0 +1,387 @@
+//===- benchgen/Generators.cpp - Synthetic benchmark families -------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace staub;
+
+std::string_view staub::toString(BenchLogic Logic) {
+  switch (Logic) {
+  case BenchLogic::QF_NIA:
+    return "QF_NIA";
+  case BenchLogic::QF_LIA:
+    return "QF_LIA";
+  case BenchLogic::QF_NRA:
+    return "QF_NRA";
+  case BenchLogic::QF_LRA:
+    return "QF_LRA";
+  }
+  return "<logic>";
+}
+
+namespace {
+
+/// Fresh variable names unique per (family, instance).
+std::string varName(const std::string &Base, unsigned Instance, unsigned I) {
+  return Base + std::to_string(Instance) + "_v" + std::to_string(I);
+}
+
+Term intConst(TermManager &M, int64_t V) { return M.mkIntConst(BigInt(V)); }
+Term realConst(TermManager &M, int64_t Num, int64_t Den = 1) {
+  return M.mkRealConst(Rational(BigInt(Num), BigInt(Den)));
+}
+
+/// x^k as an explicit product (matching the MathProblems benchmark style,
+/// which writes (* x x x)).
+Term power(TermManager &M, Term X, unsigned K) {
+  std::vector<Term> Factors(K, X);
+  return M.mkMul(Factors);
+}
+
+//===--------------------------------------------------------------------===//
+// QF_NIA family.
+//===--------------------------------------------------------------------===//
+
+/// Sum-of-cubes: x^3 + y^3 + z^3 = N. Sat instances plant N = a^3+b^3+c^3
+/// with small a,b,c (like 855 = 7^3 + 8^3 + 0^3); unsat instances pick
+/// N == +-4 (mod 9), which is a classical obstruction.
+GeneratedConstraint sumOfCubes(TermManager &M, unsigned Instance,
+                               SplitMix64 &Rng, bool WantSat,
+                               unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "MathProblems-STC";
+  Term X = M.mkVariable(varName("nia_stc", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("nia_stc", Instance, 1), Sort::integer());
+  Term Z = M.mkVariable(varName("nia_stc", Instance, 2), Sort::integer());
+  int64_t Target;
+  if (WantSat) {
+    int64_t Limit = int64_t(1) << (MaxBits / 3 + 1);
+    int64_t A = Rng.range(-Limit, Limit);
+    int64_t B = Rng.range(-Limit, Limit);
+    int64_t C = Rng.range(0, Limit);
+    Target = A * A * A + B * B * B + C * C * C;
+    Out.Expected = SolveStatus::Sat;
+  } else {
+    // n = 4 or 5 (mod 9) has no sum-of-three-cubes representation.
+    int64_t Base = Rng.range(1, int64_t(1) << (MaxBits - 1));
+    Target = Base - (Base % 9) + (Rng.chance(1, 2) ? 4 : 5);
+    Out.Expected = SolveStatus::Unsat;
+  }
+  Out.Name = "STC_" + std::to_string(Target) + "_" + std::to_string(Instance);
+  Term Sum = M.mkAdd(std::vector<Term>{power(M, X, 3), power(M, Y, 3),
+                                       power(M, Z, 3)});
+  Out.Assertions.push_back(M.mkEq(Sum, intConst(M, Target)));
+  if (!WantSat) {
+    // Keep the unsat search space finite: unbounded mod-9 obstructions
+    // send Z3's NIA engine into an uninterruptible bignum enumeration.
+    // The obstruction holds on any box, so the planted truth is intact.
+    int64_t Box = int64_t(1) << (MaxBits / 2);
+    for (Term V : {X, Y, Z}) {
+      Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Box)));
+      Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, -Box)));
+    }
+  }
+  return Out;
+}
+
+/// Planted polynomial equation: p(x, y) = c with a planted root, plus
+/// range constraints; or made infeasible via a parity/sign obstruction.
+GeneratedConstraint plantedPolynomial(TermManager &M, unsigned Instance,
+                                      SplitMix64 &Rng, bool WantSat,
+                                      unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "PlantedPoly";
+  Out.Name = "poly_" + std::to_string(Instance);
+  Term X = M.mkVariable(varName("nia_poly", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("nia_poly", Instance, 1), Sort::integer());
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t A = Rng.range(-Limit, Limit);
+  int64_t B = Rng.range(-Limit, Limit);
+  // p = x^2*y? keep degree moderate: x^2 + k*x*y + y^2.
+  int64_t K = Rng.range(-3, 3);
+  int64_t Value = A * A + K * A * B + B * B;
+  Term Poly = M.mkAdd(std::vector<Term>{
+      power(M, X, 2),
+      M.mkMul(std::vector<Term>{intConst(M, K), X, Y}),
+      power(M, Y, 2)});
+  if (WantSat) {
+    Out.Expected = SolveStatus::Sat;
+    Out.Assertions.push_back(M.mkEq(Poly, intConst(M, Value)));
+  } else {
+    // x^2 + k x y + y^2 >= -|k| (x y) ... instead force p(x,y) < 0 with
+    // |k| <= 2, where the form is positive semidefinite: unsat.
+    int64_t SmallK = Rng.range(-2, 2);
+    Term PsdPoly = M.mkAdd(std::vector<Term>{
+        power(M, X, 2),
+        M.mkMul(std::vector<Term>{intConst(M, SmallK), X, Y}),
+        power(M, Y, 2)});
+    Out.Expected = SolveStatus::Unsat;
+    Out.Assertions.push_back(
+        M.mkCompare(Kind::Lt, PsdPoly, intConst(M, 0)));
+  }
+  return Out;
+}
+
+/// Factoring-style: x * y = N, 1 < x <= y. Sat for composite N, unsat for
+/// prime N.
+GeneratedConstraint factoring(TermManager &M, unsigned Instance,
+                              SplitMix64 &Rng, bool WantSat,
+                              unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "Factoring";
+  Out.Name = "factor_" + std::to_string(Instance);
+  Term X = M.mkVariable(varName("nia_fact", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("nia_fact", Instance, 1), Sort::integer());
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t N;
+  if (WantSat) {
+    int64_t P = Rng.range(2, Limit);
+    int64_t Q = Rng.range(2, Limit);
+    N = P * Q;
+    Out.Expected = SolveStatus::Sat;
+  } else {
+    static const int64_t Primes[] = {101, 211, 307, 401, 503, 601, 701,
+                                     809, 907, 1009, 1103, 1201};
+    N = Primes[Rng.below(12)];
+    Out.Expected = SolveStatus::Unsat;
+  }
+  Out.Assertions.push_back(
+      M.mkEq(M.mkMul(std::vector<Term>{X, Y}), intConst(M, N)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Gt, X, intConst(M, 1)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, X, Y));
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// QF_LIA / QF_LRA family.
+//===--------------------------------------------------------------------===//
+
+/// Random linear system with a planted solution (sat) or a planted
+/// positive combination summing to a contradiction (unsat). Over Int when
+/// \p IsInt, else over Real.
+GeneratedConstraint linearSystem(TermManager &M, unsigned Instance,
+                                 SplitMix64 &Rng, bool WantSat, bool IsInt,
+                                 unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = IsInt ? "LinearInt" : "LinearReal";
+  Out.Name = (IsInt ? std::string("lia_") : std::string("lra_")) +
+             std::to_string(Instance);
+  Sort VarSort = IsInt ? Sort::integer() : Sort::real();
+  const unsigned NumVars = 3 + Rng.below(3);
+  const unsigned NumRows = 4 + Rng.below(5);
+  std::vector<Term> Vars;
+  std::string Base = IsInt ? "lia_s" : "lra_s";
+  for (unsigned I = 0; I < NumVars; ++I)
+    Vars.push_back(M.mkVariable(varName(Base, Instance, I), VarSort));
+
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  std::vector<int64_t> Planted;
+  for (unsigned I = 0; I < NumVars; ++I)
+    Planted.push_back(Rng.range(-Limit, Limit));
+
+  auto MakeConst = [&](int64_t V) {
+    return IsInt ? intConst(M, V) : realConst(M, V);
+  };
+
+  if (WantSat) {
+    Out.Expected = SolveStatus::Sat;
+    for (unsigned Row = 0; Row < NumRows; ++Row) {
+      std::vector<Term> Sum;
+      int64_t Rhs = 0;
+      for (unsigned I = 0; I < NumVars; ++I) {
+        int64_t Coeff = Rng.range(-5, 5);
+        if (Coeff == 0)
+          continue;
+        Sum.push_back(M.mkMul(std::vector<Term>{MakeConst(Coeff), Vars[I]}));
+        Rhs += Coeff * Planted[I];
+      }
+      if (Sum.empty())
+        continue;
+      Term Lhs = M.mkAdd(Sum);
+      // Loose inequality around the planted point keeps it satisfiable.
+      int64_t Slack = Rng.range(0, 9);
+      if (Rng.chance(1, 2))
+        Out.Assertions.push_back(
+            M.mkCompare(Kind::Le, Lhs, MakeConst(Rhs + Slack)));
+      else
+        Out.Assertions.push_back(
+            M.mkCompare(Kind::Ge, Lhs, MakeConst(Rhs - Slack)));
+    }
+    // One equality pins the planted point's neighborhood.
+    Out.Assertions.push_back(M.mkEq(Vars[0], MakeConst(Planted[0])));
+  } else {
+    Out.Expected = SolveStatus::Unsat;
+    // e >= c and -e >= 1 - c: adding them gives 0 >= 1.
+    std::vector<Term> Sum, NegSum;
+    for (unsigned I = 0; I < NumVars; ++I) {
+      int64_t Coeff = Rng.range(-5, 5);
+      if (Coeff == 0)
+        Coeff = 1;
+      Sum.push_back(M.mkMul(std::vector<Term>{MakeConst(Coeff), Vars[I]}));
+      NegSum.push_back(
+          M.mkMul(std::vector<Term>{MakeConst(-Coeff), Vars[I]}));
+    }
+    int64_t C = Rng.range(-Limit, Limit);
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, M.mkAdd(Sum), MakeConst(C)));
+    Out.Assertions.push_back(
+        M.mkCompare(Kind::Ge, M.mkAdd(NegSum), MakeConst(1 - C)));
+    // Camouflage rows so the contradiction is not syntactically obvious.
+    for (unsigned Row = 0; Row < NumRows; ++Row) {
+      std::vector<Term> Extra;
+      for (unsigned I = 0; I < NumVars; ++I) {
+        int64_t Coeff = Rng.range(-4, 4);
+        if (Coeff)
+          Extra.push_back(
+              M.mkMul(std::vector<Term>{MakeConst(Coeff), Vars[I]}));
+      }
+      if (!Extra.empty())
+        Out.Assertions.push_back(M.mkCompare(
+            Kind::Le, M.mkAdd(Extra), MakeConst(Rng.range(0, Limit))));
+    }
+  }
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// QF_NRA family.
+//===--------------------------------------------------------------------===//
+
+/// Conic intersection with a planted rational point (sat) or a sum-of-
+/// squares obstruction (unsat).
+GeneratedConstraint conic(TermManager &M, unsigned Instance, SplitMix64 &Rng,
+                          bool WantSat, unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "Conic";
+  Out.Name = "nra_" + std::to_string(Instance);
+  Term X = M.mkVariable(varName("nra_c", Instance, 0), Sort::real());
+  Term Y = M.mkVariable(varName("nra_c", Instance, 1), Sort::real());
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  if (WantSat) {
+    Out.Expected = SolveStatus::Sat;
+    // Plant (a/2, b/2): circle x^2 + y^2 = (a^2+b^2)/4 and halfplane.
+    int64_t A = Rng.range(-Limit, Limit);
+    int64_t B = Rng.range(-Limit, Limit);
+    Term Circle = M.mkAdd(std::vector<Term>{power(M, X, 2), power(M, Y, 2)});
+    Out.Assertions.push_back(
+        M.mkEq(Circle, realConst(M, A * A + B * B, 4)));
+    Out.Assertions.push_back(
+        M.mkCompare(Kind::Le, X, realConst(M, A, 2)));
+  } else {
+    Out.Expected = SolveStatus::Unsat;
+    // x^2 + y^2 + 1 <= 0.
+    Term Form = M.mkAdd(std::vector<Term>{power(M, X, 2), power(M, Y, 2),
+                                          realConst(M, 1)});
+    Out.Assertions.push_back(
+        M.mkCompare(Kind::Le, Form, realConst(M, 0)));
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<GeneratedConstraint>
+staub::generateSuite(TermManager &Manager, BenchLogic Logic,
+                     const BenchConfig &Config) {
+  SplitMix64 Rng(Config.Seed ^ (static_cast<uint64_t>(Logic) << 32));
+  std::vector<GeneratedConstraint> Suite;
+  Suite.reserve(Config.Count);
+  for (unsigned I = 0; I < Config.Count; ++I) {
+    bool WantSat = Rng.below(100) < Config.SatPercent;
+    GeneratedConstraint C;
+    switch (Logic) {
+    case BenchLogic::QF_NIA: {
+      unsigned Pick = static_cast<unsigned>(Rng.below(3));
+      if (Pick == 0)
+        C = sumOfCubes(Manager, I, Rng, WantSat, Config.MaxConstantBits);
+      else if (Pick == 1)
+        C = plantedPolynomial(Manager, I, Rng, WantSat,
+                              Config.MaxConstantBits);
+      else
+        C = factoring(Manager, I, Rng, WantSat, Config.MaxConstantBits);
+      break;
+    }
+    case BenchLogic::QF_LIA:
+      C = linearSystem(Manager, I, Rng, WantSat, /*IsInt=*/true,
+                       Config.MaxConstantBits);
+      break;
+    case BenchLogic::QF_LRA:
+      C = linearSystem(Manager, I, Rng, WantSat, /*IsInt=*/false,
+                       Config.MaxConstantBits);
+      break;
+    case BenchLogic::QF_NRA:
+      C = conic(Manager, I, Rng, WantSat, Config.MaxConstantBits);
+      break;
+    }
+    Suite.push_back(std::move(C));
+  }
+  return Suite;
+}
+
+GeneratedConstraint staub::motivatingExample(TermManager &M) {
+  GeneratedConstraint Out;
+  Out.Name = "STC_0855";
+  Out.Family = "MathProblems-STC";
+  Out.Expected = SolveStatus::Sat;
+  Term X = M.mkVariable("stc855_x", Sort::integer());
+  Term Y = M.mkVariable("stc855_y", Sort::integer());
+  Term Z = M.mkVariable("stc855_z", Sort::integer());
+  Term Sum = M.mkAdd(std::vector<Term>{power(M, X, 3), power(M, Y, 3),
+                                       power(M, Z, 3)});
+  Out.Assertions.push_back(M.mkEq(Sum, M.mkIntConst(BigInt(855))));
+  return Out;
+}
+
+TheoryGapPair staub::theoryGapPair(TermManager &Manager, uint64_t Seed,
+                                   unsigned Width) {
+  SplitMix64 Rng(Seed);
+  TheoryGapPair Pair;
+  // Same operations in both theories: x*x*x + y*y*y + z*z*z = N with N
+  // planted from values fitting the width.
+  int64_t Limit = int64_t(1) << (Width / 3 - 1);
+  int64_t A = Rng.range(-Limit, Limit);
+  int64_t B = Rng.range(-Limit, Limit);
+  int64_t C = Rng.range(0, Limit);
+  int64_t N = A * A * A + B * B * B + C * C * C;
+
+  {
+    GeneratedConstraint &Int = Pair.IntVersion;
+    Int.Name = "gap_int_" + std::to_string(Seed);
+    Int.Family = "TheoryGap";
+    Int.Expected = SolveStatus::Sat;
+    Term X = Manager.mkVariable("gap" + std::to_string(Seed) + "_ix",
+                                Sort::integer());
+    Term Y = Manager.mkVariable("gap" + std::to_string(Seed) + "_iy",
+                                Sort::integer());
+    Term Z = Manager.mkVariable("gap" + std::to_string(Seed) + "_iz",
+                                Sort::integer());
+    Term Sum = Manager.mkAdd(std::vector<Term>{power(Manager, X, 3),
+                                               power(Manager, Y, 3),
+                                               power(Manager, Z, 3)});
+    Int.Assertions.push_back(Manager.mkEq(Sum, Manager.mkIntConst(BigInt(N))));
+  }
+  {
+    GeneratedConstraint &Bv = Pair.BvVersion;
+    Bv.Name = "gap_bv_" + std::to_string(Seed);
+    Bv.Family = "TheoryGap";
+    Bv.Expected = SolveStatus::Sat;
+    Sort BvSort = Sort::bitVec(Width);
+    Term X = Manager.mkVariable("gap" + std::to_string(Seed) + "_bx", BvSort);
+    Term Y = Manager.mkVariable("gap" + std::to_string(Seed) + "_by", BvSort);
+    Term Z = Manager.mkVariable("gap" + std::to_string(Seed) + "_bz", BvSort);
+    auto Cube = [&](Term V) {
+      return Manager.mkApp(Kind::BvMul, std::vector<Term>{V, V, V});
+    };
+    Term Sum = Manager.mkApp(
+        Kind::BvAdd, std::vector<Term>{Cube(X), Cube(Y), Cube(Z)});
+    Bv.Assertions.push_back(Manager.mkEq(
+        Sum, Manager.mkBitVecConst(BitVecValue(Width, BigInt(N)))));
+  }
+  return Pair;
+}

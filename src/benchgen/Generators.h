@@ -1,0 +1,84 @@
+//===- benchgen/Generators.h - Synthetic benchmark families -----*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generators standing in for the SMT-LIB benchmark sets the paper
+/// evaluates on (QF_NIA, QF_LIA, QF_NRA, QF_LRA; Sec. 5.1 Benchmarks).
+/// There is no network access in this environment, so each family mimics
+/// a named SMT-LIB family's structure:
+///
+///   * QF_NIA: sum-of-cubes Diophantine problems in the style of
+///     `QF_NIA/20220315-MathProblems` (the paper's Fig. 1 is STC_0855),
+///     planted polynomial equations, and small factoring instances.
+///   * QF_LIA: random linear systems with planted integer solutions or
+///     planted Farkas infeasibility certificates (scheduling-style).
+///   * QF_LRA: the same shapes over rationals.
+///   * QF_NRA: conic/quadric intersections with planted rational points
+///     and trivially-infeasible variants.
+///
+/// Every instance is deterministic in its seed, and carries the planted
+/// ground truth where one exists so the harness can cross-check results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_BENCHGEN_GENERATORS_H
+#define STAUB_BENCHGEN_GENERATORS_H
+
+#include "smtlib/Term.h"
+#include "solver/Solver.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// One generated constraint with provenance.
+struct GeneratedConstraint {
+  std::string Name;
+  std::string Family;
+  std::vector<Term> Assertions;
+  /// Ground truth when the generator planted it; nullopt for genuinely
+  /// open instances.
+  std::optional<SolveStatus> Expected;
+};
+
+/// The four logics of the evaluation.
+enum class BenchLogic { QF_NIA, QF_LIA, QF_NRA, QF_LRA };
+
+/// Returns "QF_NIA" etc.
+std::string_view toString(BenchLogic Logic);
+
+/// Generation knobs.
+struct BenchConfig {
+  uint64_t Seed = 42;
+  unsigned Count = 60;       ///< Instances per suite.
+  unsigned SatPercent = 60;  ///< Fraction of planted-sat instances.
+  unsigned MaxConstantBits = 10; ///< Controls inferred widths.
+};
+
+/// Generates a suite for \p Logic into \p Manager.
+std::vector<GeneratedConstraint> generateSuite(TermManager &Manager,
+                                               BenchLogic Logic,
+                                               const BenchConfig &Config);
+
+/// The paper's motivating example (Fig. 1a): sum of three cubes = 855.
+GeneratedConstraint motivatingExample(TermManager &Manager);
+
+/// A pair of "equivalent-operation" constraints used for the Sec. 5.1
+/// claim that solving NIA takes 1.8x-5.5x longer than bitvectors with the
+/// same operations: the same polynomial identity once over Int and once
+/// over (_ BitVec Width).
+struct TheoryGapPair {
+  GeneratedConstraint IntVersion;
+  GeneratedConstraint BvVersion;
+};
+TheoryGapPair theoryGapPair(TermManager &Manager, uint64_t Seed,
+                            unsigned Width);
+
+} // namespace staub
+
+#endif // STAUB_BENCHGEN_GENERATORS_H

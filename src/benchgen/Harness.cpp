@@ -1,0 +1,133 @@
+//===- benchgen/Harness.cpp - Evaluation harness --------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Harness.h"
+
+#include "support/Statistics.h"
+
+#include <cstdio>
+
+using namespace staub;
+
+std::vector<EvalRecord>
+staub::evaluateSuite(TermManager &Manager,
+                     const std::vector<GeneratedConstraint> &Suite,
+                     SolverBackend &Backend, const EvalOptions &Options) {
+  std::vector<EvalRecord> Records;
+  Records.reserve(Suite.size());
+  for (const GeneratedConstraint &C : Suite) {
+    EvalRecord R;
+    R.Name = C.Name;
+
+    SolverOptions SolveOpts;
+    SolveOpts.TimeoutSeconds = Options.TimeoutSeconds;
+    SolveResult Original = Backend.solve(Manager, C.Assertions, SolveOpts);
+    R.OriginalStatus = Original.Status;
+    R.TPre = Original.Status == SolveStatus::Unknown
+                 ? Options.TimeoutSeconds
+                 : Original.TimeSeconds;
+
+    StaubOptions StaubOpts = Options.Staub;
+    StaubOpts.Solve.TimeoutSeconds = Options.TimeoutSeconds;
+    StaubOutcome Outcome = runStaub(Manager, C.Assertions, Backend, StaubOpts,
+                                    Options.Optimizer);
+    R.Path = Outcome.Path;
+    R.TTrans = Outcome.TransSeconds;
+    R.TPost = Outcome.SolveSeconds;
+    R.TCheck = Outcome.CheckSeconds;
+    R.ChosenWidth = Outcome.ChosenWidth;
+
+    // Cross-check against the planted ground truth where available: a
+    // verified STAUB sat answer on a planted-unsat instance would be a
+    // soundness bug.
+    if (C.Expected && Outcome.Path == StaubPath::VerifiedSat &&
+        *C.Expected == SolveStatus::Unsat) {
+      std::fprintf(stderr,
+                   "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",
+                   C.Name.c_str());
+      std::abort();
+    }
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+std::vector<std::vector<EvalRecord>>
+staub::evaluateSuiteConfigs(TermManager &Manager,
+                            const std::vector<GeneratedConstraint> &Suite,
+                            SolverBackend &Backend, double TimeoutSeconds,
+                            const std::vector<EvalConfig> &Configs) {
+  std::vector<std::vector<EvalRecord>> PerConfig(Configs.size());
+  for (const GeneratedConstraint &C : Suite) {
+    SolverOptions SolveOpts;
+    SolveOpts.TimeoutSeconds = TimeoutSeconds;
+    SolveResult Original = Backend.solve(Manager, C.Assertions, SolveOpts);
+    double TPre = Original.Status == SolveStatus::Unknown
+                      ? TimeoutSeconds
+                      : Original.TimeSeconds;
+
+    for (size_t K = 0; K < Configs.size(); ++K) {
+      EvalRecord R;
+      R.Name = C.Name;
+      R.OriginalStatus = Original.Status;
+      R.TPre = TPre;
+      StaubOptions StaubOpts = Configs[K].Staub;
+      StaubOpts.Solve.TimeoutSeconds = TimeoutSeconds;
+      StaubOutcome Outcome = runStaub(Manager, C.Assertions, Backend,
+                                      StaubOpts, Configs[K].Optimizer);
+      R.Path = Outcome.Path;
+      R.TTrans = Outcome.TransSeconds;
+      R.TPost = Outcome.SolveSeconds;
+      R.TCheck = Outcome.CheckSeconds;
+      R.ChosenWidth = Outcome.ChosenWidth;
+      if (C.Expected && Outcome.Path == StaubPath::VerifiedSat &&
+          *C.Expected == SolveStatus::Unsat) {
+        std::fprintf(
+            stderr, "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",
+            C.Name.c_str());
+        std::abort();
+      }
+      PerConfig[K].push_back(std::move(R));
+    }
+  }
+  return PerConfig;
+}
+
+EvalSummary staub::summarize(const std::vector<EvalRecord> &Records,
+                             double Timeout, double MinPre) {
+  EvalSummary S;
+  std::vector<double> VerifiedSpeedups, AllSpeedups;
+  for (const EvalRecord &R : Records) {
+    double Pre =
+        R.OriginalStatus == SolveStatus::Unknown ? Timeout : R.TPre;
+    if (Pre < MinPre)
+      continue;
+    ++S.Count;
+    double Alpha = R.speedup(Timeout);
+    AllSpeedups.push_back(Alpha);
+    if (R.verified()) {
+      ++S.VerifiedCases;
+      VerifiedSpeedups.push_back(Alpha);
+    }
+    if (R.tractabilityImprovement())
+      ++S.Tractability;
+    if (R.Path == StaubPath::SemanticDifference)
+      ++S.SemanticDifferences;
+  }
+  S.VerifiedSpeedup = geometricMean(VerifiedSpeedups);
+  S.OverallSpeedup = geometricMean(AllSpeedups);
+  return S;
+}
+
+std::string staub::formatSummaryRow(const std::string &Label,
+                                    const EvalSummary &Summary) {
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "%-28s %6u %9u %10u %12.3f %12.3f", Label.c_str(),
+                Summary.Count, Summary.VerifiedCases, Summary.Tractability,
+                Summary.VerifiedSpeedup, Summary.OverallSpeedup);
+  return Buffer;
+}

@@ -1,0 +1,113 @@
+//===- benchgen/Harness.h - Evaluation harness ------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared measurement machinery for the table/figure benchmarks: runs a
+/// generated suite through a solver backend with and without STAUB,
+/// applies the paper's portfolio accounting (Sec. 5.1: timeouts count as
+/// full-timeout contributions; speedup alpha = T_pre / (T_trans + T_post
+/// + T_check); geometric means), and aggregates the quantities reported
+/// in Tables 2-3 and Figures 2 and 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_BENCHGEN_HARNESS_H
+#define STAUB_BENCHGEN_HARNESS_H
+
+#include "benchgen/Generators.h"
+#include "staub/Staub.h"
+
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// Per-constraint measurement.
+struct EvalRecord {
+  std::string Name;
+  SolveStatus OriginalStatus = SolveStatus::Unknown;
+  double TPre = 0.0; ///< Original-lane time (timeout => full timeout).
+  StaubPath Path = StaubPath::TranslationFailed;
+  double TTrans = 0.0, TPost = 0.0, TCheck = 0.0;
+  unsigned ChosenWidth = 0;
+
+  double staubSeconds() const { return TTrans + TPost + TCheck; }
+  bool verified() const { return Path == StaubPath::VerifiedSat; }
+  /// Original lane failed but STAUB produced a verified answer.
+  bool tractabilityImprovement() const {
+    return OriginalStatus == SolveStatus::Unknown && verified();
+  }
+  /// Portfolio time: never worse than the original lane.
+  double portfolioSeconds(double Timeout) const {
+    double Pre = OriginalStatus == SolveStatus::Unknown ? Timeout : TPre;
+    if (verified())
+      return std::min(Pre, staubSeconds());
+    return Pre;
+  }
+  /// alpha per the paper; timeouts as full-timeout contributions.
+  double speedup(double Timeout) const {
+    double Pre = OriginalStatus == SolveStatus::Unknown ? Timeout : TPre;
+    double Port = portfolioSeconds(Timeout);
+    return Pre / std::max(Port, 1e-9);
+  }
+};
+
+/// Aggregates over a suite.
+struct EvalSummary {
+  unsigned Count = 0;
+  unsigned VerifiedCases = 0;
+  unsigned Tractability = 0;
+  unsigned SemanticDifferences = 0;
+  double VerifiedSpeedup = 1.0; ///< Geomean over verified cases.
+  double OverallSpeedup = 1.0;  ///< Geomean over the whole suite.
+};
+
+/// Options for one evaluation sweep.
+struct EvalOptions {
+  double TimeoutSeconds = 2.0;
+  StaubOptions Staub;
+  /// Optional bounded-side optimizer (SLOT, RQ2).
+  std::vector<Term> (*Optimizer)(TermManager &,
+                                 const std::vector<Term> &) = nullptr;
+};
+
+/// Runs every constraint of \p Suite through \p Backend, both plain and
+/// via STAUB; returns per-constraint records.
+std::vector<EvalRecord> evaluateSuite(TermManager &Manager,
+                                      const std::vector<GeneratedConstraint> &Suite,
+                                      SolverBackend &Backend,
+                                      const EvalOptions &Options);
+
+/// One STAUB configuration for a multi-config sweep (Table 3's STAUB /
+/// Fixed 8-bit / Fixed 16-bit / SLOT columns).
+struct EvalConfig {
+  std::string Label;
+  StaubOptions Staub;
+  std::vector<Term> (*Optimizer)(TermManager &,
+                                 const std::vector<Term> &) = nullptr;
+};
+
+/// Like evaluateSuite but measures the original lane once and the STAUB
+/// lane per configuration; returns one record vector per config (indexed
+/// like \p Configs).
+std::vector<std::vector<EvalRecord>>
+evaluateSuiteConfigs(TermManager &Manager,
+                     const std::vector<GeneratedConstraint> &Suite,
+                     SolverBackend &Backend, double TimeoutSeconds,
+                     const std::vector<EvalConfig> &Configs);
+
+/// Aggregates records, optionally restricted to those with TPre within
+/// [MinPre, Timeout] (the paper's T_pre interval rows in Table 3).
+EvalSummary summarize(const std::vector<EvalRecord> &Records, double Timeout,
+                      double MinPre = 0.0);
+
+/// Renders one Table 3-style row.
+std::string formatSummaryRow(const std::string &Label,
+                             const EvalSummary &Summary);
+
+} // namespace staub
+
+#endif // STAUB_BENCHGEN_HARNESS_H

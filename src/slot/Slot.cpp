@@ -1,0 +1,510 @@
+//===- slot/Slot.cpp - Bounded-constraint optimizer -----------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slot/Slot.h"
+
+#include "theory/Evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace staub;
+
+namespace {
+
+/// Bottom-up rewriter. Each node is simplified after its children; the
+/// rule set loops per node until a fixpoint (bounded by a small budget to
+/// stay linear overall).
+class SlotRewriter {
+public:
+  SlotRewriter(TermManager &Manager, SlotStats &Stats)
+      : Manager(Manager), Stats(Stats) {}
+
+  Term simplify(Term T) {
+    auto Found = Cache.find(T.id());
+    if (Found != Cache.end())
+      return Found->second;
+    Term Result = simplifyNode(T);
+    // Re-run the rules on the rewritten node a few times: rewrites often
+    // cascade (e.g. folding exposes an identity).
+    for (int Round = 0; Round < 4; ++Round) {
+      Term Next = applyRules(Result);
+      if (Next == Result)
+        break;
+      Result = Next;
+    }
+    Cache.emplace(T.id(), Result);
+    return Result;
+  }
+
+private:
+  TermManager &Manager;
+  SlotStats &Stats;
+  std::unordered_map<uint32_t, Term> Cache;
+
+  bool isTrue(Term T) const {
+    return Manager.kind(T) == Kind::ConstBool && Manager.boolValue(T);
+  }
+  bool isFalse(Term T) const {
+    return Manager.kind(T) == Kind::ConstBool && !Manager.boolValue(T);
+  }
+  bool isBvZero(Term T) const {
+    return Manager.kind(T) == Kind::ConstBitVec &&
+           Manager.bitVecValue(T).isZero();
+  }
+  bool isBvOne(Term T) const {
+    return Manager.kind(T) == Kind::ConstBitVec &&
+           Manager.bitVecValue(T).toUnsigned().isOne();
+  }
+  bool isBvAllOnes(Term T) const {
+    if (Manager.kind(T) != Kind::ConstBitVec)
+      return false;
+    const BitVecValue &V = Manager.bitVecValue(T);
+    return V.toSigned() == BigInt(-1);
+  }
+
+  /// Rebuilds \p T with simplified children.
+  Term simplifyNode(Term T) {
+    if (Manager.numChildren(T) == 0)
+      return T;
+    std::vector<Term> Children;
+    bool Changed = false;
+    for (Term Child : Manager.childrenCopy(T)) {
+      Term S = simplify(Child);
+      Changed |= !(S == Child);
+      Children.push_back(S);
+    }
+    if (!Changed)
+      return T;
+    return Manager.mkApp(Manager.kind(T), Children, Manager.paramA(T),
+                         Manager.paramB(T));
+  }
+
+  /// One pass of local rules on a node with already-simplified children.
+  Term applyRules(Term T) {
+    Kind K = Manager.kind(T);
+    unsigned N = Manager.numChildren(T);
+    if (N == 0)
+      return T;
+
+    // Rule 1: constant folding via the exact evaluator.
+    bool AllConst = true;
+    for (Term Child : Manager.children(T))
+      if (!Manager.isConst(Child)) {
+        AllConst = false;
+        break;
+      }
+    if (AllConst) {
+      Model Empty;
+      auto V = evaluate(Manager, T, Empty);
+      if (V) {
+        ++Stats.ConstantFolds;
+        if (V->isBool())
+          return Manager.mkBoolConst(V->asBool());
+        if (V->isBitVec())
+          return Manager.mkBitVecConst(V->asBitVec());
+        if (V->isFp())
+          return Manager.mkFpConst(V->asFp());
+        if (V->isInt())
+          return Manager.mkIntConst(V->asInt());
+        if (V->isReal())
+          return Manager.mkRealConst(V->asReal());
+      }
+    }
+
+    // Rule 2: algebraic identities.
+    switch (K) {
+    case Kind::Not: {
+      Term A = Manager.child(T, 0);
+      if (Manager.kind(A) == Kind::Not) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(A, 0);
+      }
+      if (isTrue(A))
+        return Manager.mkFalse();
+      if (isFalse(A))
+        return Manager.mkTrue();
+      break;
+    }
+    case Kind::And: {
+      // Flatten, drop true, collapse on false, dedupe.
+      std::vector<Term> Flat;
+      bool Changed = false;
+      for (Term Child : Manager.childrenCopy(T)) {
+        if (isTrue(Child)) {
+          Changed = true;
+          continue;
+        }
+        if (isFalse(Child)) {
+          ++Stats.AlgebraicRewrites;
+          return Manager.mkFalse();
+        }
+        if (Manager.kind(Child) == Kind::And) {
+          Changed = true;
+          for (Term Inner : Manager.childrenCopy(Child))
+            Flat.push_back(Inner);
+          continue;
+        }
+        Flat.push_back(Child);
+      }
+      std::sort(Flat.begin(), Flat.end(),
+                [](Term A, Term B) { return A.id() < B.id(); });
+      Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+      // Complementary literals: p and not p.
+      for (Term Child : Flat)
+        if (Manager.kind(Child) == Kind::Not &&
+            std::binary_search(Flat.begin(), Flat.end(),
+                               Manager.child(Child, 0),
+                               [](Term A, Term B) { return A.id() < B.id(); })) {
+          ++Stats.AlgebraicRewrites;
+          return Manager.mkFalse();
+        }
+      if (Changed || Flat.size() != N) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkAnd(Flat);
+      }
+      break;
+    }
+    case Kind::Or: {
+      std::vector<Term> Flat;
+      bool Changed = false;
+      for (Term Child : Manager.childrenCopy(T)) {
+        if (isFalse(Child)) {
+          Changed = true;
+          continue;
+        }
+        if (isTrue(Child)) {
+          ++Stats.AlgebraicRewrites;
+          return Manager.mkTrue();
+        }
+        if (Manager.kind(Child) == Kind::Or) {
+          Changed = true;
+          for (Term Inner : Manager.childrenCopy(Child))
+            Flat.push_back(Inner);
+          continue;
+        }
+        Flat.push_back(Child);
+      }
+      std::sort(Flat.begin(), Flat.end(),
+                [](Term A, Term B) { return A.id() < B.id(); });
+      Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+      for (Term Child : Flat)
+        if (Manager.kind(Child) == Kind::Not &&
+            std::binary_search(Flat.begin(), Flat.end(),
+                               Manager.child(Child, 0),
+                               [](Term A, Term B) { return A.id() < B.id(); })) {
+          ++Stats.AlgebraicRewrites;
+          return Manager.mkTrue();
+        }
+      if (Changed || Flat.size() != N) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkOr(Flat);
+      }
+      break;
+    }
+    case Kind::Ite: {
+      Term C = Manager.child(T, 0);
+      Term Then = Manager.child(T, 1);
+      Term Else = Manager.child(T, 2);
+      if (isTrue(C)) {
+        ++Stats.AlgebraicRewrites;
+        return Then;
+      }
+      if (isFalse(C)) {
+        ++Stats.AlgebraicRewrites;
+        return Else;
+      }
+      if (Then == Else) {
+        ++Stats.AlgebraicRewrites;
+        return Then;
+      }
+      break;
+    }
+    case Kind::Eq: {
+      if (Manager.child(T, 0) == Manager.child(T, 1)) {
+        // Reflexive equality is true for every sort (SMT `=` is bit
+        // identity on FP, so even NaN = NaN holds).
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkTrue();
+      }
+      break;
+    }
+    case Kind::Xor: {
+      Term A = Manager.child(T, 0), B = Manager.child(T, 1);
+      if (A == B) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkFalse();
+      }
+      if (isFalse(B)) {
+        ++Stats.AlgebraicRewrites;
+        return A;
+      }
+      if (isFalse(A)) {
+        ++Stats.AlgebraicRewrites;
+        return B;
+      }
+      break;
+    }
+    case Kind::Implies: {
+      Term A = Manager.child(T, 0), B = Manager.child(T, 1);
+      if (isTrue(A)) {
+        ++Stats.AlgebraicRewrites;
+        return B;
+      }
+      if (isFalse(A) || isTrue(B)) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkTrue();
+      }
+      if (A == B) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkTrue();
+      }
+      break;
+    }
+    case Kind::BvAdd:
+    case Kind::BvOr:
+    case Kind::BvXor: {
+      // Identity element removal + canonical operand order.
+      std::vector<Term> Kept;
+      for (Term Child : Manager.childrenCopy(T))
+        if (!isBvZero(Child))
+          Kept.push_back(Child);
+        else
+          ++Stats.AlgebraicRewrites;
+      if (K == Kind::BvXor && Kept.size() == 2 && Kept[0] == Kept[1]) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkBitVecConst(
+            BitVecValue(Manager.sort(T).bitVecWidth(), 0));
+      }
+      if (Kept.empty())
+        return Manager.mkBitVecConst(
+            BitVecValue(Manager.sort(T).bitVecWidth(), 0));
+      if (Kept.size() == 1)
+        return Kept[0];
+      std::vector<Term> Sorted = Kept;
+      std::sort(Sorted.begin(), Sorted.end(),
+                [](Term A, Term B) { return A.id() < B.id(); });
+      if (Sorted != Manager.childrenCopy(T)) {
+        ++Stats.Canonicalizations;
+        return Manager.mkApp(K, Sorted);
+      }
+      break;
+    }
+    case Kind::BvMul: {
+      std::vector<Term> Kept;
+      for (Term Child : Manager.childrenCopy(T)) {
+        if (isBvZero(Child)) {
+          ++Stats.AlgebraicRewrites;
+          return Child; // x * 0 = 0.
+        }
+        if (isBvOne(Child)) {
+          ++Stats.AlgebraicRewrites;
+          continue;
+        }
+        Kept.push_back(Child);
+      }
+      if (Kept.empty())
+        return Manager.mkBitVecConst(
+            BitVecValue(Manager.sort(T).bitVecWidth(), 1));
+      if (Kept.size() == 1)
+        return Kept[0];
+      std::vector<Term> Sorted = Kept;
+      std::sort(Sorted.begin(), Sorted.end(),
+                [](Term A, Term B) { return A.id() < B.id(); });
+      if (Sorted != Manager.childrenCopy(T)) {
+        ++Stats.Canonicalizations;
+        return Manager.mkApp(K, Sorted);
+      }
+      break;
+    }
+    case Kind::BvSub: {
+      if (N == 2 && Manager.child(T, 0) == Manager.child(T, 1)) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkBitVecConst(
+            BitVecValue(Manager.sort(T).bitVecWidth(), 0));
+      }
+      if (N == 2 && isBvZero(Manager.child(T, 1))) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(T, 0);
+      }
+      break;
+    }
+    case Kind::BvAnd: {
+      std::vector<Term> Kept;
+      for (Term Child : Manager.childrenCopy(T)) {
+        if (isBvZero(Child)) {
+          ++Stats.AlgebraicRewrites;
+          return Child; // x & 0 = 0.
+        }
+        if (isBvAllOnes(Child)) {
+          ++Stats.AlgebraicRewrites;
+          continue; // Identity.
+        }
+        Kept.push_back(Child);
+      }
+      std::sort(Kept.begin(), Kept.end(),
+                [](Term A, Term B) { return A.id() < B.id(); });
+      Kept.erase(std::unique(Kept.begin(), Kept.end()), Kept.end());
+      if (Kept.empty())
+        return Manager.mkBitVecConst(
+            BitVecValue(Manager.sort(T).bitVecWidth(), -1));
+      if (Kept.size() == 1)
+        return Kept[0];
+      if (Kept.size() != N) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkApp(K, Kept);
+      }
+      break;
+    }
+    case Kind::BvNot: {
+      Term A = Manager.child(T, 0);
+      if (Manager.kind(A) == Kind::BvNot) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(A, 0);
+      }
+      break;
+    }
+    case Kind::BvNeg: {
+      Term A = Manager.child(T, 0);
+      if (Manager.kind(A) == Kind::BvNeg) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(A, 0);
+      }
+      break;
+    }
+    case Kind::BvShl:
+    case Kind::BvLshr:
+    case Kind::BvAshr: {
+      if (isBvZero(Manager.child(T, 1))) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(T, 0);
+      }
+      if (isBvZero(Manager.child(T, 0)) && K != Kind::BvAshr) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(T, 0);
+      }
+      break;
+    }
+    case Kind::BvUle:
+    case Kind::BvSle:
+    case Kind::BvUge:
+    case Kind::BvSge: {
+      if (Manager.child(T, 0) == Manager.child(T, 1)) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkTrue();
+      }
+      break;
+    }
+    case Kind::BvUlt:
+    case Kind::BvSlt:
+    case Kind::BvUgt:
+    case Kind::BvSgt: {
+      if (Manager.child(T, 0) == Manager.child(T, 1)) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.mkFalse();
+      }
+      break;
+    }
+    case Kind::FpAdd: {
+      // x + (-0) = x under RNE for every x.
+      Term A = Manager.child(T, 0), B = Manager.child(T, 1);
+      auto IsNegZero = [this](Term V) {
+        return Manager.kind(V) == Kind::ConstFp &&
+               Manager.fpValue(V).isZero() && Manager.fpValue(V).isNegative();
+      };
+      if (IsNegZero(B)) {
+        ++Stats.AlgebraicRewrites;
+        return A;
+      }
+      if (IsNegZero(A)) {
+        ++Stats.AlgebraicRewrites;
+        return B;
+      }
+      break;
+    }
+    case Kind::FpMul: {
+      // x * 1 = x for every x (sign, NaN, and infinities preserved).
+      Term A = Manager.child(T, 0), B = Manager.child(T, 1);
+      auto IsOne = [this](Term V) {
+        return Manager.kind(V) == Kind::ConstFp &&
+               Manager.fpValue(V).isFinite() &&
+               Manager.fpValue(V).toRational() == Rational(1);
+      };
+      if (IsOne(B)) {
+        ++Stats.AlgebraicRewrites;
+        return A;
+      }
+      if (IsOne(A)) {
+        ++Stats.AlgebraicRewrites;
+        return B;
+      }
+      break;
+    }
+    case Kind::FpNeg: {
+      Term A = Manager.child(T, 0);
+      if (Manager.kind(A) == Kind::FpNeg) {
+        ++Stats.AlgebraicRewrites;
+        return Manager.child(A, 0);
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    return T;
+  }
+};
+
+} // namespace
+
+std::vector<Term> staub::slotOptimize(TermManager &Manager,
+                                      const std::vector<Term> &Assertions,
+                                      SlotStats *Stats) {
+  SlotStats Local;
+  SlotStats &S = Stats ? *Stats : Local;
+  for (Term A : Assertions)
+    S.NodesBefore += Manager.dagSize(A);
+
+  SlotRewriter Rewriter(Manager, S);
+  std::vector<Term> Result;
+  bool AnyFalse = false;
+  for (Term Assertion : Assertions) {
+    Term Simplified = Rewriter.simplify(Assertion);
+    if (Manager.kind(Simplified) == Kind::ConstBool) {
+      if (!Manager.boolValue(Simplified))
+        AnyFalse = true;
+      else
+        ++S.AssertionsDropped; // `true` assertions vanish.
+      continue;
+    }
+    // Split top-level conjunctions into separate assertions (gives the
+    // downstream solver more structure to preprocess).
+    if (Manager.kind(Simplified) == Kind::And) {
+      for (Term Conjunct : Manager.childrenCopy(Simplified))
+        Result.push_back(Conjunct);
+      continue;
+    }
+    Result.push_back(Simplified);
+  }
+  if (AnyFalse)
+    Result = {Manager.mkFalse()};
+  // Dedupe identical assertions.
+  std::sort(Result.begin(), Result.end(),
+            [](Term A, Term B) { return A.id() < B.id(); });
+  size_t Before = Result.size();
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  S.AssertionsDropped += Before - Result.size();
+
+  for (Term A : Result)
+    S.NodesAfter += Manager.dagSize(A);
+  return Result;
+}
+
+std::vector<Term> staub::slotOptimizerHook(TermManager &Manager,
+                                           const std::vector<Term> &Assertions) {
+  return slotOptimize(Manager, Assertions, nullptr);
+}

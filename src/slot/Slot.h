@@ -1,0 +1,62 @@
+//===- slot/Slot.h - Bounded-constraint optimizer ---------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of the SLOT effect (Mikek & Zhang, ESEC/FSE'23):
+/// semantics-preserving, compiler-style simplification of bitvector and
+/// floating-point constraints applied as a pre-processing pass. The
+/// original tool round-trips constraints through LLVM IR and runs LLVM's
+/// optimization pipeline; here the same classes of transformations run
+/// directly on the hash-consed term DAG:
+///
+///   * constant folding (instcombine/constprop) via the exact evaluator,
+///   * algebraic identity and idempotence rewriting (instcombine),
+///   * operand canonicalization of commutative operators (reassociate),
+///   * common-subexpression elimination (GVN; free via hash consing),
+///   * assertion-level simplification (simplifycfg analogue: flattening
+///     conjunctions, dropping trivially-true assertions, collapsing a
+///     contradiction to `false`).
+///
+/// The paper's RQ2 finding is that these only become applicable to
+/// unbounded constraints after STAUB's theory arbitrage; this module is
+/// what gets chained behind the transformation (Sec. 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SLOT_SLOT_H
+#define STAUB_SLOT_SLOT_H
+
+#include "smtlib/Term.h"
+
+#include <vector>
+
+namespace staub {
+
+/// Counters for reporting what the optimizer did.
+struct SlotStats {
+  uint64_t ConstantFolds = 0;
+  uint64_t AlgebraicRewrites = 0;
+  uint64_t Canonicalizations = 0;
+  uint64_t AssertionsDropped = 0;
+  size_t NodesBefore = 0;
+  size_t NodesAfter = 0;
+};
+
+/// Optimizes a conjunction of bounded-theory (Bool/BitVec/FloatingPoint)
+/// assertions. Semantics-preserving: the result is equisatisfiable (in
+/// fact equivalent) to the input. Also safe (no-op rules) on unbounded
+/// terms, but its rewrite set targets the bounded theories.
+std::vector<Term> slotOptimize(TermManager &Manager,
+                               const std::vector<Term> &Assertions,
+                               SlotStats *Stats = nullptr);
+
+/// Adapter with the optimizer-hook signature used by runStaub().
+std::vector<Term> slotOptimizerHook(TermManager &Manager,
+                                    const std::vector<Term> &Assertions);
+
+} // namespace staub
+
+#endif // STAUB_SLOT_SLOT_H

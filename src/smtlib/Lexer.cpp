@@ -1,0 +1,191 @@
+//===- smtlib/Lexer.cpp - SMT-LIB tokenizer -------------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Lexer.h"
+
+#include <cctype>
+
+using namespace staub;
+
+static bool isSymbolChar(char C) {
+  if (std::isalnum(static_cast<unsigned char>(C)))
+    return true;
+  switch (C) {
+  case '~':
+  case '!':
+  case '@':
+  case '$':
+  case '%':
+  case '^':
+  case '&':
+  case '*':
+  case '_':
+  case '-':
+  case '+':
+  case '=':
+  case '<':
+  case '>':
+  case '.':
+  case '?':
+  case '/':
+  case ':':
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Input.size()) {
+    char C = Input[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+    } else if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+    } else if (C == ';') {
+      while (Pos < Input.size() && Input[Pos] != '\n')
+        ++Pos;
+    } else {
+      break;
+    }
+  }
+}
+
+const Token &Lexer::peek() {
+  if (!HasLookahead) {
+    Lookahead = lex();
+    HasLookahead = true;
+  }
+  return Lookahead;
+}
+
+Token Lexer::next() {
+  if (HasLookahead) {
+    HasLookahead = false;
+    return Lookahead;
+  }
+  return lex();
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  Token Result;
+  Result.Line = Line;
+  if (Pos >= Input.size()) {
+    Result.Kind = TokenKind::EndOfInput;
+    return Result;
+  }
+  char C = Input[Pos];
+  if (C == '(') {
+    ++Pos;
+    Result.Kind = TokenKind::LParen;
+    Result.Text = "(";
+    return Result;
+  }
+  if (C == ')') {
+    ++Pos;
+    Result.Kind = TokenKind::RParen;
+    Result.Text = ")";
+    return Result;
+  }
+  if (C == '"') {
+    ++Pos;
+    std::string Text;
+    while (Pos < Input.size()) {
+      if (Input[Pos] == '"') {
+        // SMT-LIB escapes a quote by doubling it.
+        if (Pos + 1 < Input.size() && Input[Pos + 1] == '"') {
+          Text.push_back('"');
+          Pos += 2;
+          continue;
+        }
+        ++Pos;
+        Result.Kind = TokenKind::String;
+        Result.Text = std::move(Text);
+        return Result;
+      }
+      if (Input[Pos] == '\n')
+        ++Line;
+      Text.push_back(Input[Pos]);
+      ++Pos;
+    }
+    Result.Kind = TokenKind::Error;
+    Result.Text = "unterminated string literal";
+    return Result;
+  }
+  if (C == '|') {
+    ++Pos;
+    std::string Text;
+    while (Pos < Input.size() && Input[Pos] != '|') {
+      if (Input[Pos] == '\n')
+        ++Line;
+      Text.push_back(Input[Pos]);
+      ++Pos;
+    }
+    if (Pos >= Input.size()) {
+      Result.Kind = TokenKind::Error;
+      Result.Text = "unterminated quoted symbol";
+      return Result;
+    }
+    ++Pos; // Closing '|'.
+    Result.Kind = TokenKind::Symbol;
+    Result.Text = std::move(Text);
+    return Result;
+  }
+  if (C == '#') {
+    if (Pos + 1 < Input.size() && (Input[Pos + 1] == 'x' || Input[Pos + 1] == 'b')) {
+      bool IsHex = Input[Pos + 1] == 'x';
+      Pos += 2;
+      std::string Text;
+      while (Pos < Input.size() &&
+             (IsHex ? std::isxdigit(static_cast<unsigned char>(Input[Pos]))
+                    : (Input[Pos] == '0' || Input[Pos] == '1'))) {
+        Text.push_back(Input[Pos]);
+        ++Pos;
+      }
+      if (Text.empty()) {
+        Result.Kind = TokenKind::Error;
+        Result.Text = "empty bitvector literal";
+        return Result;
+      }
+      Result.Kind = IsHex ? TokenKind::Hex : TokenKind::Binary;
+      Result.Text = std::move(Text);
+      return Result;
+    }
+    Result.Kind = TokenKind::Error;
+    Result.Text = "unexpected '#'";
+    return Result;
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text;
+    bool SawDot = false;
+    while (Pos < Input.size() &&
+           (std::isdigit(static_cast<unsigned char>(Input[Pos])) ||
+            (!SawDot && Input[Pos] == '.'))) {
+      if (Input[Pos] == '.')
+        SawDot = true;
+      Text.push_back(Input[Pos]);
+      ++Pos;
+    }
+    Result.Kind = SawDot ? TokenKind::Decimal : TokenKind::Numeral;
+    Result.Text = std::move(Text);
+    return Result;
+  }
+  if (isSymbolChar(C)) {
+    std::string Text;
+    while (Pos < Input.size() && isSymbolChar(Input[Pos])) {
+      Text.push_back(Input[Pos]);
+      ++Pos;
+    }
+    Result.Kind = TokenKind::Symbol;
+    Result.Text = std::move(Text);
+    return Result;
+  }
+  Result.Kind = TokenKind::Error;
+  Result.Text = std::string("unexpected character '") + C + "'";
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- smtlib/Lexer.h - SMT-LIB tokenizer -----------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the SMT-LIB v2.6 concrete syntax fragment used by the
+/// QF_LIA/QF_NIA/QF_LRA/QF_NRA benchmarks plus the QF_BV/QF_FP output of
+/// STAUB's translator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_LEXER_H
+#define STAUB_SMTLIB_LEXER_H
+
+#include <string>
+#include <string_view>
+
+namespace staub {
+
+/// Token classification.
+enum class TokenKind : uint8_t {
+  LParen,
+  RParen,
+  Symbol,  ///< Simple or |quoted| symbols, keywords like :status.
+  Numeral, ///< 0, 855, ...
+  Decimal, ///< 2.0, 0.125, ...
+  Hex,     ///< #xA5 (text excludes the #x prefix).
+  Binary,  ///< #b0101 (text excludes the #b prefix).
+  String,  ///< "..." literal (text excludes the quotes).
+  EndOfInput,
+  Error,
+};
+
+/// A token with its spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfInput;
+  std::string Text;
+  size_t Line = 1;
+};
+
+/// Single-pass tokenizer; call next() until EndOfInput or Error.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Input) : Input(Input) {}
+
+  /// Returns the next token, consuming it.
+  Token next();
+
+  /// Returns the next token without consuming it.
+  const Token &peek();
+
+private:
+  std::string_view Input;
+  size_t Pos = 0;
+  size_t Line = 1;
+  Token Lookahead;
+  bool HasLookahead = false;
+
+  Token lex();
+  void skipTrivia();
+};
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_LEXER_H

@@ -1,0 +1,41 @@
+//===- smtlib/Parser.h - SMT-LIB parser -------------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the supported SMT-LIB fragment. Produces a
+/// Script of hash-consed terms. `let` bindings and zero-ary `define-fun`
+/// macros are expanded during parsing, so downstream phases only ever see
+/// plain first-order terms. Errors are reported by message, never by
+/// exception (LLVM style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_PARSER_H
+#define STAUB_SMTLIB_PARSER_H
+
+#include "smtlib/Script.h"
+
+#include <string>
+#include <string_view>
+
+namespace staub {
+
+/// Outcome of a parse; check Ok before using Parsed.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error;
+  Script Parsed;
+};
+
+/// Parses SMT-LIB text into \p Manager's term DAG.
+ParseResult parseSmtLib(TermManager &Manager, std::string_view Input);
+
+/// Parses the contents of \p Path.
+ParseResult parseSmtLibFile(TermManager &Manager, const std::string &Path);
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_PARSER_H

@@ -1,0 +1,214 @@
+//===- smtlib/Printer.cpp - SMT-LIB printing ------------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Printer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace staub;
+
+namespace {
+
+/// True for FP operators that take an (implicit RNE) rounding mode.
+bool printsRoundingMode(Kind K) {
+  switch (K) {
+  case Kind::FpAdd:
+  case Kind::FpSub:
+  case Kind::FpMul:
+  case Kind::FpDiv:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Renders a leaf constant.
+std::string printLeaf(const TermManager &Manager, Term T) {
+  switch (Manager.kind(T)) {
+  case Kind::ConstBool:
+    return Manager.boolValue(T) ? "true" : "false";
+  case Kind::ConstInt: {
+    const BigInt &Value = Manager.intValue(T);
+    if (Value.isNegative())
+      return "(- " + Value.abs().toString() + ")";
+    return Value.toString();
+  }
+  case Kind::ConstReal:
+    return Manager.realValue(T).toSmtLib();
+  case Kind::ConstBitVec:
+    return Manager.bitVecValue(T).toSmtLib();
+  case Kind::ConstFp: {
+    const SoftFloat &Value = Manager.fpValue(T);
+    FpFormat Format = Value.format();
+    std::string Suffix = " " + std::to_string(Format.ExponentBits) + " " +
+                         std::to_string(Format.SignificandBits) + ")";
+    if (Value.isNaN())
+      return "(_ NaN" + Suffix;
+    if (Value.isInfinity())
+      return std::string("(_ ") + (Value.isNegative() ? "-oo" : "+oo") +
+             Suffix;
+    if (Value.isZero())
+      return std::string("(_ ") + (Value.isNegative() ? "-zero" : "+zero") +
+             Suffix;
+    // Finite nonzero: render via the packed bit pattern (fp s e m).
+    BitVecValue Bits = Value.toBits();
+    unsigned Fb = Format.SignificandBits - 1;
+    unsigned Eb = Format.ExponentBits;
+    BitVecValue Sign = Bits.extract(Fb + Eb, Fb + Eb);
+    BitVecValue Exp = Bits.extract(Fb + Eb - 1, Fb);
+    BitVecValue Man = Bits.extract(Fb - 1, 0);
+    return "(fp " + Sign.toBinaryString() + " " + Exp.toBinaryString() + " " +
+           Man.toBinaryString() + ")";
+  }
+  case Kind::Variable:
+    return Manager.variableName(T);
+  default:
+    break;
+  }
+  return "<non-leaf>";
+}
+
+/// Recursive printer; \p Names carries let-binding substitutions.
+void printRec(const TermManager &Manager, Term T,
+              const std::unordered_map<uint32_t, std::string> &Names,
+              std::string &Out, bool IsRoot) {
+  if (!IsRoot) {
+    auto Named = Names.find(T.id());
+    if (Named != Names.end()) {
+      Out += Named->second;
+      return;
+    }
+  }
+  Kind K = Manager.kind(T);
+  if (Manager.numChildren(T) == 0) {
+    Out += printLeaf(Manager, T);
+    return;
+  }
+  Out += '(';
+  switch (K) {
+  case Kind::BvExtract:
+    Out += "(_ extract " + std::to_string(Manager.paramA(T)) + " " +
+           std::to_string(Manager.paramB(T)) + ")";
+    break;
+  case Kind::BvZeroExtend:
+    Out += "(_ zero_extend " + std::to_string(Manager.paramA(T)) + ")";
+    break;
+  case Kind::BvSignExtend:
+    Out += "(_ sign_extend " + std::to_string(Manager.paramA(T)) + ")";
+    break;
+  default:
+    Out += kindName(K);
+    break;
+  }
+  if (printsRoundingMode(K))
+    Out += " RNE";
+  for (Term Child : Manager.children(T)) {
+    Out += ' ';
+    printRec(Manager, Child, Names, Out, /*IsRoot=*/false);
+  }
+  Out += ')';
+}
+
+} // namespace
+
+std::string staub::printTerm(const TermManager &Manager, Term T) {
+  std::string Out;
+  printRec(Manager, T, {}, Out, /*IsRoot=*/true);
+  return Out;
+}
+
+std::string staub::printTermWithSharing(const TermManager &Manager, Term T) {
+  // Count in-DAG references of each node: each visit bumps the count, but
+  // children are only expanded the first time a node is seen.
+  std::unordered_map<uint32_t, unsigned> RefCounts;
+  {
+    std::unordered_set<uint32_t> Visited;
+    std::vector<Term> Work = {T};
+    while (!Work.empty()) {
+      Term Node = Work.back();
+      Work.pop_back();
+      ++RefCounts[Node.id()];
+      if (Visited.insert(Node.id()).second)
+        for (Term Child : Manager.children(Node))
+          Work.push_back(Child);
+    }
+  }
+
+  // Nodes worth naming: referenced more than once and not leaves.
+  std::unordered_map<uint32_t, std::string> Names;
+  std::vector<Term> Bindings;
+  // Rebuild a deterministic post-order via DFS.
+  {
+    std::unordered_set<uint32_t> Visited;
+    std::vector<std::pair<Term, bool>> Stack = {{T, false}};
+    std::vector<Term> PostOrder;
+    while (!Stack.empty()) {
+      auto [Node, Expanded] = Stack.back();
+      Stack.pop_back();
+      if (Expanded) {
+        PostOrder.push_back(Node);
+        continue;
+      }
+      if (!Visited.insert(Node.id()).second)
+        continue;
+      Stack.push_back({Node, true});
+      auto Children = Manager.children(Node);
+      for (size_t I = Children.size(); I-- > 0;)
+        Stack.push_back({Children[I], false});
+    }
+    unsigned NextName = 0;
+    for (Term Node : PostOrder) {
+      if (Node == T || Manager.numChildren(Node) == 0)
+        continue;
+      if (RefCounts[Node.id()] > 1) {
+        Names[Node.id()] = "?s" + std::to_string(NextName++);
+        Bindings.push_back(Node);
+      }
+    }
+  }
+
+  if (Bindings.empty())
+    return printTerm(Manager, T);
+
+  // Nest lets so earlier (deeper) bindings are visible to later ones.
+  std::string Out;
+  for (Term Binding : Bindings) {
+    Out += "(let ((" + Names[Binding.id()] + " ";
+    printRec(Manager, Binding, Names, Out, /*IsRoot=*/true);
+    Out += ")) ";
+  }
+  printRec(Manager, T, Names, Out, /*IsRoot=*/true);
+  Out.append(Bindings.size(), ')');
+  return Out;
+}
+
+std::string staub::printScript(const TermManager &Manager, const Script &S) {
+  std::string Out;
+  if (!S.Logic.empty())
+    Out += "(set-logic " + S.Logic + ")\n";
+
+  // Declare every variable reachable from the assertions (plus any
+  // explicitly declared ones), each exactly once, in declaration order.
+  std::unordered_set<uint32_t> Declared;
+  std::vector<Term> Vars;
+  for (Term Var : S.Variables)
+    if (Declared.insert(Var.id()).second)
+      Vars.push_back(Var);
+  for (Term Assertion : S.Assertions)
+    for (Term Var : Manager.collectVariables(Assertion))
+      if (Declared.insert(Var.id()).second)
+        Vars.push_back(Var);
+  for (Term Var : Vars)
+    Out += "(declare-fun " + Manager.variableName(Var) + " () " +
+           Manager.sort(Var).toString() + ")\n";
+
+  for (Term Assertion : S.Assertions)
+    Out += "(assert " + printTermWithSharing(Manager, Assertion) + ")\n";
+  if (S.HasCheckSat)
+    Out += "(check-sat)\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- smtlib/Printer.h - SMT-LIB printing ----------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms and scripts back to SMT-LIB concrete syntax so STAUB's
+/// transformed constraints can be handed to any SMT-LIB-compliant solver
+/// (the paper's "-o" flag, Sec. 5.1 Implementation). Shared DAG nodes are
+/// emitted through `let` bindings to keep output size linear in DAG size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_PRINTER_H
+#define STAUB_SMTLIB_PRINTER_H
+
+#include "smtlib/Script.h"
+
+#include <string>
+
+namespace staub {
+
+/// Renders a single term as a plain S-expression (no sharing).
+std::string printTerm(const TermManager &Manager, Term T);
+
+/// Renders a term, introducing `let` bindings for multiply-referenced
+/// non-leaf nodes.
+std::string printTermWithSharing(const TermManager &Manager, Term T);
+
+/// Renders a full script: set-logic, declarations, assertions, check-sat.
+std::string printScript(const TermManager &Manager, const Script &S);
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_PRINTER_H

@@ -1,0 +1,40 @@
+//===- smtlib/Script.h - Parsed SMT-LIB script ------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of parsing an SMT-LIB file: a logic name, declared
+/// variables, and the asserted constraints. Following the paper (Sec. 3.1)
+/// a "constraint" is the conjunction of all assertions; conjoined() builds
+/// that single term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_SCRIPT_H
+#define STAUB_SMTLIB_SCRIPT_H
+
+#include "smtlib/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// A parsed benchmark script.
+struct Script {
+  std::string Logic;
+  std::vector<Term> Variables;  ///< Declared constants, in order.
+  std::vector<Term> Assertions; ///< Asserted terms, in order.
+  bool HasCheckSat = false;
+
+  /// Conjunction of all assertions (true if there are none).
+  Term conjoined(TermManager &Manager) const {
+    return Manager.mkAnd(Assertions);
+  }
+};
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_SCRIPT_H

@@ -1,0 +1,113 @@
+//===- smtlib/Sort.h - SMT sorts --------------------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SMT-LIB sorts for the theories STAUB works with: Bool, the unbounded
+/// Int and Real sorts, and the bounded BitVec and FloatingPoint sort
+/// kinds (paper Sec. 3.1). A Sort is a small value type; BitVec carries a
+/// width, FloatingPoint carries (eb, sb).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_SORT_H
+#define STAUB_SMTLIB_SORT_H
+
+#include "support/SoftFloat.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace staub {
+
+/// The kind of a sort. Following the paper's use of Z3's "kind" notion,
+/// all bitvector sorts share one kind, as do all floating-point sorts.
+enum class SortKind : uint8_t {
+  Bool,
+  Int,
+  Real,
+  BitVec,
+  FloatingPoint,
+};
+
+/// A sort: a kind plus width parameters for the bounded kinds.
+class Sort {
+public:
+  /// Constructs the Bool sort; use the factories below for others.
+  Sort() : Kind(SortKind::Bool) {}
+
+  static Sort boolean() { return Sort(SortKind::Bool, 0, 0); }
+  static Sort integer() { return Sort(SortKind::Int, 0, 0); }
+  static Sort real() { return Sort(SortKind::Real, 0, 0); }
+  static Sort bitVec(unsigned Width) {
+    assert(Width >= 1 && "bitvector width must be positive");
+    return Sort(SortKind::BitVec, Width, 0);
+  }
+  static Sort floatingPoint(FpFormat Format) {
+    return Sort(SortKind::FloatingPoint, Format.ExponentBits,
+                Format.SignificandBits);
+  }
+
+  SortKind kind() const { return Kind; }
+  bool isBool() const { return Kind == SortKind::Bool; }
+  bool isInt() const { return Kind == SortKind::Int; }
+  bool isReal() const { return Kind == SortKind::Real; }
+  bool isBitVec() const { return Kind == SortKind::BitVec; }
+  bool isFloatingPoint() const { return Kind == SortKind::FloatingPoint; }
+
+  /// True for the unbounded sorts (infinitely many values; Def. 3.4).
+  bool isUnbounded() const { return isInt() || isReal(); }
+  /// True for sorts with finitely many values (Def. 3.3).
+  bool isBounded() const { return !isUnbounded(); }
+
+  /// Bitvector width; only valid for BitVec sorts.
+  unsigned bitVecWidth() const {
+    assert(isBitVec() && "not a bitvector sort");
+    return Param0;
+  }
+
+  /// Floating-point format; only valid for FloatingPoint sorts.
+  FpFormat fpFormat() const {
+    assert(isFloatingPoint() && "not a floating-point sort");
+    return {Param0, Param1};
+  }
+
+  bool operator==(const Sort &RHS) const = default;
+
+  /// SMT-LIB rendering, e.g. "(_ BitVec 12)".
+  std::string toString() const {
+    switch (Kind) {
+    case SortKind::Bool:
+      return "Bool";
+    case SortKind::Int:
+      return "Int";
+    case SortKind::Real:
+      return "Real";
+    case SortKind::BitVec:
+      return "(_ BitVec " + std::to_string(Param0) + ")";
+    case SortKind::FloatingPoint:
+      return "(_ FloatingPoint " + std::to_string(Param0) + " " +
+             std::to_string(Param1) + ")";
+    }
+    return "<invalid>";
+  }
+
+  size_t hash() const {
+    return static_cast<size_t>(Kind) * 0x9e3779b9u + Param0 * 131 + Param1;
+  }
+
+private:
+  Sort(SortKind Kind, unsigned Param0, unsigned Param1)
+      : Kind(Kind), Param0(Param0), Param1(Param1) {}
+
+  SortKind Kind;
+  unsigned Param0 = 0; // BitVec width or FP exponent bits.
+  unsigned Param1 = 0; // FP significand bits.
+};
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_SORT_H

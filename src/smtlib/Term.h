@@ -1,0 +1,293 @@
+//===- smtlib/Term.h - Hash-consed term DAG ---------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term representation: an immutable, hash-consed DAG owned by a
+/// TermManager (LLVM-context style). A Term is a 32-bit handle; all
+/// structural queries and construction go through the manager. Hash
+/// consing gives structural sharing, which makes STAUB's abstract
+/// interpretation and translation linear-time memoized DAG walks
+/// (paper Sec. 6.1) and gives the SLOT substrate CSE for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_TERM_H
+#define STAUB_SMTLIB_TERM_H
+
+#include "smtlib/Sort.h"
+#include "support/BigInt.h"
+#include "support/BitVecValue.h"
+#include "support/Rational.h"
+#include "support/SoftFloat.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace staub {
+
+/// Every operator and leaf kind in the supported SMT-LIB fragment.
+enum class Kind : uint8_t {
+  // Leaves.
+  ConstBool,   ///< true / false; payload in ParamA (0/1).
+  ConstInt,    ///< Int literal; payload index into IntConstants.
+  ConstReal,   ///< Real literal; payload index into RealConstants.
+  ConstBitVec, ///< BitVec literal; payload index into BitVecConstants.
+  ConstFp,     ///< FloatingPoint literal; payload index into FpConstants.
+  Variable,    ///< Declared constant; payload index into VariableNames.
+
+  // Core booleans.
+  Not,
+  And,     ///< N-ary.
+  Or,      ///< N-ary.
+  Xor,     ///< N-ary (left-assoc).
+  Implies, ///< Binary.
+  Ite,     ///< (ite cond then else); sort of branches.
+  Eq,      ///< N-ary chained equality; Bool result.
+  Distinct, ///< N-ary pairwise distinct; Bool result.
+
+  // Integer / real arithmetic (shared kinds; operand sort disambiguates).
+  Neg,     ///< Unary minus.
+  Add,     ///< N-ary.
+  Sub,     ///< N-ary (left-assoc).
+  Mul,     ///< N-ary.
+  IntDiv,  ///< Euclidean (div a b).
+  IntMod,  ///< Euclidean (mod a b).
+  IntAbs,  ///< (abs a).
+  RealDiv, ///< (/ a b).
+  Le,
+  Lt,
+  Ge,
+  Gt,
+
+  // Bitvectors.
+  BvNeg,
+  BvAdd,
+  BvSub,
+  BvMul,
+  BvSDiv,
+  BvSRem,
+  BvUDiv,
+  BvURem,
+  BvAnd,
+  BvOr,
+  BvXor,
+  BvNot,
+  BvShl,
+  BvLshr,
+  BvAshr,
+  BvUle,
+  BvUlt,
+  BvUge,
+  BvUgt,
+  BvSle,
+  BvSlt,
+  BvSge,
+  BvSgt,
+  BvConcat,
+  BvExtract,    ///< ParamA = high, ParamB = low.
+  BvZeroExtend, ///< ParamA = extra bits.
+  BvSignExtend, ///< ParamA = extra bits.
+  /// Overflow predicates used as STAUB's translation guards (Sec. 4.3).
+  BvNegO,
+  BvSAddO,
+  BvSSubO,
+  BvSMulO,
+  BvSDivO,
+
+  // Floating point. Rounding mode is fixed to RNE and implicit.
+  FpNeg,
+  FpAbs,
+  FpAdd,
+  FpSub,
+  FpMul,
+  FpDiv,
+  FpLeq,
+  FpLt,
+  FpGeq,
+  FpGt,
+  FpEq, ///< fp.eq (IEEE equality; distinct from `=`).
+  FpIsNaN,
+  FpIsInf,
+  FpIsZero,
+};
+
+/// Returns the SMT-LIB operator spelling for \p K (operators only).
+std::string_view kindName(Kind K);
+
+/// A lightweight handle to a node in a TermManager.
+class Term {
+public:
+  Term() : Id(InvalidId) {}
+  explicit Term(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != InvalidId; }
+  uint32_t id() const { return Id; }
+
+  bool operator==(const Term &RHS) const = default;
+
+private:
+  static constexpr uint32_t InvalidId = UINT32_MAX;
+  uint32_t Id;
+};
+
+/// Owns and interns all terms. All Term handles index into one manager;
+/// mixing handles across managers is a usage error.
+class TermManager {
+public:
+  TermManager() = default;
+  TermManager(const TermManager &) = delete;
+  TermManager &operator=(const TermManager &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Leaf constructors.
+  //===--------------------------------------------------------------===//
+
+  Term mkTrue() { return mkBoolConst(true); }
+  Term mkFalse() { return mkBoolConst(false); }
+  Term mkBoolConst(bool Value);
+  Term mkIntConst(const BigInt &Value);
+  Term mkRealConst(const Rational &Value);
+  Term mkBitVecConst(const BitVecValue &Value);
+  Term mkFpConst(const SoftFloat &Value);
+  /// Declares or returns the variable \p Name of sort \p Sort. Re-declaring
+  /// with a different sort is a usage error (asserted).
+  Term mkVariable(std::string_view Name, Sort VarSort);
+
+  //===--------------------------------------------------------------===//
+  // Operator constructors. Arities and operand sorts are asserted.
+  //===--------------------------------------------------------------===//
+
+  Term mkNot(Term Operand);
+  Term mkAnd(std::span<const Term> Operands);
+  Term mkOr(std::span<const Term> Operands);
+  Term mkXor(Term A, Term B);
+  Term mkImplies(Term A, Term B);
+  Term mkIte(Term Cond, Term Then, Term Else);
+  Term mkEq(Term A, Term B);
+  Term mkDistinct(std::span<const Term> Operands);
+
+  Term mkNeg(Term Operand);
+  Term mkAdd(std::span<const Term> Operands);
+  Term mkSub(std::span<const Term> Operands);
+  Term mkMul(std::span<const Term> Operands);
+  Term mkIntDiv(Term A, Term B);
+  Term mkIntMod(Term A, Term B);
+  Term mkIntAbs(Term Operand);
+  Term mkRealDiv(Term A, Term B);
+  /// Comparison constructors for Le/Lt/Ge/Gt.
+  Term mkCompare(Kind K, Term A, Term B);
+
+  /// Generic n-ary constructor used by the parser and rewriters; checks
+  /// sorts and dispatches. \p ParamA / \p ParamB carry indexed-operator
+  /// parameters (extract bounds, extension widths).
+  Term mkApp(Kind K, std::span<const Term> Operands, unsigned ParamA = 0,
+             unsigned ParamB = 0);
+
+  Term mkBvExtract(unsigned High, unsigned Low, Term Operand);
+  Term mkBvZeroExtend(unsigned Extra, Term Operand);
+  Term mkBvSignExtend(unsigned Extra, Term Operand);
+
+  //===--------------------------------------------------------------===//
+  // Structural queries.
+  //===--------------------------------------------------------------===//
+
+  Kind kind(Term T) const { return node(T).NodeKind; }
+  Sort sort(Term T) const { return node(T).NodeSort; }
+  unsigned numChildren(Term T) const {
+    return node(T).NumChildren;
+  }
+  Term child(Term T, unsigned Index) const;
+  /// Children view. WARNING: the span aliases internal storage and is
+  /// invalidated by any term creation; when recursing into a rewrite that
+  /// builds new terms, use childrenCopy() instead.
+  std::span<const Term> children(Term T) const;
+  /// Children as an owned vector, safe across term creation.
+  std::vector<Term> childrenCopy(Term T) const {
+    auto View = children(T);
+    return {View.begin(), View.end()};
+  }
+  unsigned paramA(Term T) const { return node(T).ParamA; }
+  unsigned paramB(Term T) const { return node(T).ParamB; }
+
+  bool isConst(Term T) const;
+  bool boolValue(Term T) const;
+  const BigInt &intValue(Term T) const;
+  const Rational &realValue(Term T) const;
+  const BitVecValue &bitVecValue(Term T) const;
+  const SoftFloat &fpValue(Term T) const;
+  const std::string &variableName(Term T) const;
+
+  /// Number of interned terms (for overhead measurements and tests).
+  size_t numTerms() const { return Nodes.size(); }
+
+  /// Total number of DAG nodes reachable from \p Root (each shared node
+  /// counted once).
+  size_t dagSize(Term Root) const;
+
+  /// All distinct variables reachable from \p Root.
+  std::vector<Term> collectVariables(Term Root) const;
+
+  /// Looks up a previously declared variable by name.
+  Term lookupVariable(std::string_view Name) const;
+
+private:
+  struct Node {
+    Kind NodeKind;
+    Sort NodeSort;
+    uint32_t FirstChild = 0; ///< Index into ChildStorage.
+    uint32_t NumChildren = 0;
+    uint32_t ParamA = 0; ///< Payload index or operator parameter.
+    uint32_t ParamB = 0;
+  };
+
+  const Node &node(Term T) const {
+    assert(T.isValid() && T.id() < Nodes.size() && "invalid term handle");
+    return Nodes[T.id()];
+  }
+
+  /// Interning key: everything that identifies a node.
+  struct NodeKey {
+    Kind NodeKind;
+    Sort NodeSort;
+    std::vector<uint32_t> Children;
+    uint32_t ParamA;
+    uint32_t ParamB;
+    bool operator==(const NodeKey &RHS) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &Key) const;
+  };
+
+  Term intern(Kind K, Sort S, std::span<const Term> Children,
+              uint32_t ParamA = 0, uint32_t ParamB = 0);
+
+  std::vector<Node> Nodes;
+  std::vector<Term> ChildStorage;
+  std::unordered_map<NodeKey, uint32_t, NodeKeyHash> InternTable;
+
+  std::vector<BigInt> IntConstants;
+  std::vector<Rational> RealConstants;
+  std::vector<BitVecValue> BitVecConstants;
+  std::vector<SoftFloat> FpConstants;
+  std::vector<std::string> VariableNames;
+  std::vector<Sort> VariableSorts;
+  std::unordered_map<std::string, uint32_t> VariableIndex;
+
+  // Dedup maps for constant payloads (payload index keyed by hash+equality
+  // is handled by linear buckets keyed on hash).
+  std::unordered_map<size_t, std::vector<uint32_t>> IntConstIndex;
+  std::unordered_map<size_t, std::vector<uint32_t>> RealConstIndex;
+  std::unordered_map<size_t, std::vector<uint32_t>> BitVecConstIndex;
+  std::unordered_map<size_t, std::vector<uint32_t>> FpConstIndex;
+};
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_TERM_H

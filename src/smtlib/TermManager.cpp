@@ -1,0 +1,721 @@
+//===- smtlib/TermManager.cpp - Hash-consed term DAG ----------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Term.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace staub;
+
+std::string_view staub::kindName(Kind K) {
+  switch (K) {
+  case Kind::ConstBool:
+  case Kind::ConstInt:
+  case Kind::ConstReal:
+  case Kind::ConstBitVec:
+  case Kind::ConstFp:
+  case Kind::Variable:
+    return "<leaf>";
+  case Kind::Not:
+    return "not";
+  case Kind::And:
+    return "and";
+  case Kind::Or:
+    return "or";
+  case Kind::Xor:
+    return "xor";
+  case Kind::Implies:
+    return "=>";
+  case Kind::Ite:
+    return "ite";
+  case Kind::Eq:
+    return "=";
+  case Kind::Distinct:
+    return "distinct";
+  case Kind::Neg:
+    return "-";
+  case Kind::Add:
+    return "+";
+  case Kind::Sub:
+    return "-";
+  case Kind::Mul:
+    return "*";
+  case Kind::IntDiv:
+    return "div";
+  case Kind::IntMod:
+    return "mod";
+  case Kind::IntAbs:
+    return "abs";
+  case Kind::RealDiv:
+    return "/";
+  case Kind::Le:
+    return "<=";
+  case Kind::Lt:
+    return "<";
+  case Kind::Ge:
+    return ">=";
+  case Kind::Gt:
+    return ">";
+  case Kind::BvNeg:
+    return "bvneg";
+  case Kind::BvAdd:
+    return "bvadd";
+  case Kind::BvSub:
+    return "bvsub";
+  case Kind::BvMul:
+    return "bvmul";
+  case Kind::BvSDiv:
+    return "bvsdiv";
+  case Kind::BvSRem:
+    return "bvsrem";
+  case Kind::BvUDiv:
+    return "bvudiv";
+  case Kind::BvURem:
+    return "bvurem";
+  case Kind::BvAnd:
+    return "bvand";
+  case Kind::BvOr:
+    return "bvor";
+  case Kind::BvXor:
+    return "bvxor";
+  case Kind::BvNot:
+    return "bvnot";
+  case Kind::BvShl:
+    return "bvshl";
+  case Kind::BvLshr:
+    return "bvlshr";
+  case Kind::BvAshr:
+    return "bvashr";
+  case Kind::BvUle:
+    return "bvule";
+  case Kind::BvUlt:
+    return "bvult";
+  case Kind::BvUge:
+    return "bvuge";
+  case Kind::BvUgt:
+    return "bvugt";
+  case Kind::BvSle:
+    return "bvsle";
+  case Kind::BvSlt:
+    return "bvslt";
+  case Kind::BvSge:
+    return "bvsge";
+  case Kind::BvSgt:
+    return "bvsgt";
+  case Kind::BvConcat:
+    return "concat";
+  case Kind::BvExtract:
+    return "extract";
+  case Kind::BvZeroExtend:
+    return "zero_extend";
+  case Kind::BvSignExtend:
+    return "sign_extend";
+  case Kind::BvNegO:
+    return "bvnego";
+  case Kind::BvSAddO:
+    return "bvsaddo";
+  case Kind::BvSSubO:
+    return "bvssubo";
+  case Kind::BvSMulO:
+    return "bvsmulo";
+  case Kind::BvSDivO:
+    return "bvsdivo";
+  case Kind::FpNeg:
+    return "fp.neg";
+  case Kind::FpAbs:
+    return "fp.abs";
+  case Kind::FpAdd:
+    return "fp.add";
+  case Kind::FpSub:
+    return "fp.sub";
+  case Kind::FpMul:
+    return "fp.mul";
+  case Kind::FpDiv:
+    return "fp.div";
+  case Kind::FpLeq:
+    return "fp.leq";
+  case Kind::FpLt:
+    return "fp.lt";
+  case Kind::FpGeq:
+    return "fp.geq";
+  case Kind::FpGt:
+    return "fp.gt";
+  case Kind::FpEq:
+    return "fp.eq";
+  case Kind::FpIsNaN:
+    return "fp.isNaN";
+  case Kind::FpIsInf:
+    return "fp.isInfinite";
+  case Kind::FpIsZero:
+    return "fp.isZero";
+  }
+  return "<unknown>";
+}
+
+size_t TermManager::NodeKeyHash::operator()(const NodeKey &Key) const {
+  size_t Hash = static_cast<size_t>(Key.NodeKind) * 0x9e3779b97f4a7c15ull;
+  Hash ^= Key.NodeSort.hash() + (Hash << 6);
+  for (uint32_t Child : Key.Children)
+    Hash = Hash * 1099511628211ull ^ Child;
+  Hash = Hash * 31 + Key.ParamA;
+  Hash = Hash * 31 + Key.ParamB;
+  return Hash;
+}
+
+Term TermManager::intern(Kind K, Sort S, std::span<const Term> Children,
+                         uint32_t ParamA, uint32_t ParamB) {
+  NodeKey Key;
+  Key.NodeKind = K;
+  Key.NodeSort = S;
+  Key.Children.reserve(Children.size());
+  for (Term Child : Children)
+    Key.Children.push_back(Child.id());
+  Key.ParamA = ParamA;
+  Key.ParamB = ParamB;
+
+  auto Existing = InternTable.find(Key);
+  if (Existing != InternTable.end())
+    return Term(Existing->second);
+
+  Node NewNode;
+  NewNode.NodeKind = K;
+  NewNode.NodeSort = S;
+  NewNode.FirstChild = static_cast<uint32_t>(ChildStorage.size());
+  NewNode.NumChildren = static_cast<uint32_t>(Children.size());
+  NewNode.ParamA = ParamA;
+  NewNode.ParamB = ParamB;
+  for (Term Child : Children)
+    ChildStorage.push_back(Child);
+  uint32_t Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(NewNode);
+  InternTable.emplace(std::move(Key), Id);
+  return Term(Id);
+}
+
+Term TermManager::child(Term T, unsigned Index) const {
+  const Node &N = node(T);
+  assert(Index < N.NumChildren && "child index out of range");
+  return ChildStorage[N.FirstChild + Index];
+}
+
+std::span<const Term> TermManager::children(Term T) const {
+  const Node &N = node(T);
+  return {ChildStorage.data() + N.FirstChild, N.NumChildren};
+}
+
+//===--------------------------------------------------------------------===//
+// Leaves.
+//===--------------------------------------------------------------------===//
+
+Term TermManager::mkBoolConst(bool Value) {
+  return intern(Kind::ConstBool, Sort::boolean(), {}, Value ? 1 : 0);
+}
+
+/// Interns a payload in \p Pool, deduplicating via \p Index buckets.
+template <typename T, typename HashFn, typename EqFn>
+static uint32_t internPayload(std::vector<T> &Pool,
+                              std::unordered_map<size_t, std::vector<uint32_t>>
+                                  &Index,
+                              const T &Value, HashFn Hash, EqFn Equal) {
+  size_t H = Hash(Value);
+  auto &Bucket = Index[H];
+  for (uint32_t Id : Bucket)
+    if (Equal(Pool[Id], Value))
+      return Id;
+  uint32_t Id = static_cast<uint32_t>(Pool.size());
+  Pool.push_back(Value);
+  Bucket.push_back(Id);
+  return Id;
+}
+
+Term TermManager::mkIntConst(const BigInt &Value) {
+  uint32_t Payload = internPayload(
+      IntConstants, IntConstIndex, Value,
+      [](const BigInt &V) { return V.hash(); },
+      [](const BigInt &A, const BigInt &B) { return A == B; });
+  return intern(Kind::ConstInt, Sort::integer(), {}, Payload);
+}
+
+Term TermManager::mkRealConst(const Rational &Value) {
+  uint32_t Payload = internPayload(
+      RealConstants, RealConstIndex, Value,
+      [](const Rational &V) { return V.hash(); },
+      [](const Rational &A, const Rational &B) { return A == B; });
+  return intern(Kind::ConstReal, Sort::real(), {}, Payload);
+}
+
+Term TermManager::mkBitVecConst(const BitVecValue &Value) {
+  uint32_t Payload = internPayload(
+      BitVecConstants, BitVecConstIndex, Value,
+      [](const BitVecValue &V) { return V.hash(); },
+      [](const BitVecValue &A, const BitVecValue &B) { return A == B; });
+  return intern(Kind::ConstBitVec, Sort::bitVec(Value.width()), {}, Payload);
+}
+
+Term TermManager::mkFpConst(const SoftFloat &Value) {
+  uint32_t Payload = internPayload(
+      FpConstants, FpConstIndex, Value,
+      [](const SoftFloat &V) { return V.hash(); },
+      [](const SoftFloat &A, const SoftFloat &B) { return A.smtEquals(B); });
+  return intern(Kind::ConstFp, Sort::floatingPoint(Value.format()), {},
+                Payload);
+}
+
+Term TermManager::mkVariable(std::string_view Name, Sort VarSort) {
+  auto Existing = VariableIndex.find(std::string(Name));
+  if (Existing != VariableIndex.end()) {
+    assert(VariableSorts[Existing->second] == VarSort &&
+           "variable redeclared with a different sort");
+    return intern(Kind::Variable, VarSort, {}, Existing->second);
+  }
+  uint32_t Id = static_cast<uint32_t>(VariableNames.size());
+  VariableNames.emplace_back(Name);
+  VariableSorts.push_back(VarSort);
+  VariableIndex.emplace(std::string(Name), Id);
+  return intern(Kind::Variable, VarSort, {}, Id);
+}
+
+Term TermManager::lookupVariable(std::string_view Name) const {
+  auto It = VariableIndex.find(std::string(Name));
+  if (It == VariableIndex.end())
+    return Term();
+  // Reconstruct the handle by re-interning (const_cast-free lookup).
+  NodeKey Key;
+  Key.NodeKind = Kind::Variable;
+  Key.NodeSort = VariableSorts[It->second];
+  Key.ParamA = It->second;
+  Key.ParamB = 0;
+  auto NodeIt = InternTable.find(Key);
+  assert(NodeIt != InternTable.end() && "declared variable without a node");
+  return Term(NodeIt->second);
+}
+
+//===--------------------------------------------------------------------===//
+// Payload accessors.
+//===--------------------------------------------------------------------===//
+
+bool TermManager::isConst(Term T) const {
+  switch (kind(T)) {
+  case Kind::ConstBool:
+  case Kind::ConstInt:
+  case Kind::ConstReal:
+  case Kind::ConstBitVec:
+  case Kind::ConstFp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool TermManager::boolValue(Term T) const {
+  assert(kind(T) == Kind::ConstBool && "not a boolean constant");
+  return node(T).ParamA != 0;
+}
+
+const BigInt &TermManager::intValue(Term T) const {
+  assert(kind(T) == Kind::ConstInt && "not an integer constant");
+  return IntConstants[node(T).ParamA];
+}
+
+const Rational &TermManager::realValue(Term T) const {
+  assert(kind(T) == Kind::ConstReal && "not a real constant");
+  return RealConstants[node(T).ParamA];
+}
+
+const BitVecValue &TermManager::bitVecValue(Term T) const {
+  assert(kind(T) == Kind::ConstBitVec && "not a bitvector constant");
+  return BitVecConstants[node(T).ParamA];
+}
+
+const SoftFloat &TermManager::fpValue(Term T) const {
+  assert(kind(T) == Kind::ConstFp && "not a floating-point constant");
+  return FpConstants[node(T).ParamA];
+}
+
+const std::string &TermManager::variableName(Term T) const {
+  assert(kind(T) == Kind::Variable && "not a variable");
+  return VariableNames[node(T).ParamA];
+}
+
+//===--------------------------------------------------------------------===//
+// Operators.
+//===--------------------------------------------------------------------===//
+
+Term TermManager::mkNot(Term Operand) {
+  assert(sort(Operand).isBool() && "not requires Bool");
+  Term Ops[] = {Operand};
+  return intern(Kind::Not, Sort::boolean(), Ops);
+}
+
+Term TermManager::mkAnd(std::span<const Term> Operands) {
+  if (Operands.empty())
+    return mkTrue();
+  if (Operands.size() == 1)
+    return Operands[0];
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op).isBool() && "and requires Bool operands");
+  return intern(Kind::And, Sort::boolean(), Operands);
+}
+
+Term TermManager::mkOr(std::span<const Term> Operands) {
+  if (Operands.empty())
+    return mkFalse();
+  if (Operands.size() == 1)
+    return Operands[0];
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op).isBool() && "or requires Bool operands");
+  return intern(Kind::Or, Sort::boolean(), Operands);
+}
+
+Term TermManager::mkXor(Term A, Term B) {
+  assert(sort(A).isBool() && sort(B).isBool() && "xor requires Bool");
+  Term Ops[] = {A, B};
+  return intern(Kind::Xor, Sort::boolean(), Ops);
+}
+
+Term TermManager::mkImplies(Term A, Term B) {
+  assert(sort(A).isBool() && sort(B).isBool() && "=> requires Bool");
+  Term Ops[] = {A, B};
+  return intern(Kind::Implies, Sort::boolean(), Ops);
+}
+
+Term TermManager::mkIte(Term Cond, Term Then, Term Else) {
+  assert(sort(Cond).isBool() && "ite condition must be Bool");
+  assert(sort(Then) == sort(Else) && "ite branch sorts differ");
+  Term Ops[] = {Cond, Then, Else};
+  return intern(Kind::Ite, sort(Then), Ops);
+}
+
+Term TermManager::mkEq(Term A, Term B) {
+  assert(sort(A) == sort(B) && "= operand sorts differ");
+  Term Ops[] = {A, B};
+  return intern(Kind::Eq, Sort::boolean(), Ops);
+}
+
+Term TermManager::mkDistinct(std::span<const Term> Operands) {
+  assert(Operands.size() >= 2 && "distinct needs at least two operands");
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op) == sort(Operands[0]) && "distinct operand sorts differ");
+  return intern(Kind::Distinct, Sort::boolean(), Operands);
+}
+
+Term TermManager::mkNeg(Term Operand) {
+  Sort S = sort(Operand);
+  assert((S.isInt() || S.isReal()) && "neg requires Int or Real");
+  Term Ops[] = {Operand};
+  return intern(Kind::Neg, S, Ops);
+}
+
+Term TermManager::mkAdd(std::span<const Term> Operands) {
+  assert(!Operands.empty() && "+ needs operands");
+  if (Operands.size() == 1)
+    return Operands[0];
+  Sort S = sort(Operands[0]);
+  assert((S.isInt() || S.isReal()) && "+ requires Int or Real");
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op) == S && "+ operand sorts differ");
+  return intern(Kind::Add, S, Operands);
+}
+
+Term TermManager::mkSub(std::span<const Term> Operands) {
+  assert(!Operands.empty() && "- needs operands");
+  if (Operands.size() == 1)
+    return mkNeg(Operands[0]);
+  Sort S = sort(Operands[0]);
+  assert((S.isInt() || S.isReal()) && "- requires Int or Real");
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op) == S && "- operand sorts differ");
+  return intern(Kind::Sub, S, Operands);
+}
+
+Term TermManager::mkMul(std::span<const Term> Operands) {
+  assert(!Operands.empty() && "* needs operands");
+  if (Operands.size() == 1)
+    return Operands[0];
+  Sort S = sort(Operands[0]);
+  assert((S.isInt() || S.isReal()) && "* requires Int or Real");
+  for ([[maybe_unused]] Term Op : Operands)
+    assert(sort(Op) == S && "* operand sorts differ");
+  return intern(Kind::Mul, S, Operands);
+}
+
+Term TermManager::mkIntDiv(Term A, Term B) {
+  assert(sort(A).isInt() && sort(B).isInt() && "div requires Int");
+  Term Ops[] = {A, B};
+  return intern(Kind::IntDiv, Sort::integer(), Ops);
+}
+
+Term TermManager::mkIntMod(Term A, Term B) {
+  assert(sort(A).isInt() && sort(B).isInt() && "mod requires Int");
+  Term Ops[] = {A, B};
+  return intern(Kind::IntMod, Sort::integer(), Ops);
+}
+
+Term TermManager::mkIntAbs(Term Operand) {
+  assert(sort(Operand).isInt() && "abs requires Int");
+  Term Ops[] = {Operand};
+  return intern(Kind::IntAbs, Sort::integer(), Ops);
+}
+
+Term TermManager::mkRealDiv(Term A, Term B) {
+  assert(sort(A).isReal() && sort(B).isReal() && "/ requires Real");
+  Term Ops[] = {A, B};
+  return intern(Kind::RealDiv, Sort::real(), Ops);
+}
+
+Term TermManager::mkCompare(Kind K, Term A, Term B) {
+  assert((K == Kind::Le || K == Kind::Lt || K == Kind::Ge || K == Kind::Gt) &&
+         "not a comparison kind");
+  assert(sort(A) == sort(B) && (sort(A).isInt() || sort(A).isReal()) &&
+         "comparisons require matching Int or Real operands");
+  Term Ops[] = {A, B};
+  return intern(K, Sort::boolean(), Ops);
+}
+
+Term TermManager::mkBvExtract(unsigned High, unsigned Low, Term Operand) {
+  Sort S = sort(Operand);
+  assert(S.isBitVec() && High < S.bitVecWidth() && Low <= High &&
+         "bad extract bounds");
+  Term Ops[] = {Operand};
+  return intern(Kind::BvExtract, Sort::bitVec(High - Low + 1), Ops, High, Low);
+}
+
+Term TermManager::mkBvZeroExtend(unsigned Extra, Term Operand) {
+  Sort S = sort(Operand);
+  assert(S.isBitVec() && "zero_extend requires BitVec");
+  Term Ops[] = {Operand};
+  return intern(Kind::BvZeroExtend, Sort::bitVec(S.bitVecWidth() + Extra), Ops,
+                Extra);
+}
+
+Term TermManager::mkBvSignExtend(unsigned Extra, Term Operand) {
+  Sort S = sort(Operand);
+  assert(S.isBitVec() && "sign_extend requires BitVec");
+  Term Ops[] = {Operand};
+  return intern(Kind::BvSignExtend, Sort::bitVec(S.bitVecWidth() + Extra), Ops,
+                Extra);
+}
+
+Term TermManager::mkApp(Kind K, std::span<const Term> Operands,
+                        unsigned ParamA, unsigned ParamB) {
+  switch (K) {
+  case Kind::Not:
+    assert(Operands.size() == 1);
+    return mkNot(Operands[0]);
+  case Kind::And:
+    return mkAnd(Operands);
+  case Kind::Or:
+    return mkOr(Operands);
+  case Kind::Xor: {
+    // SMT-LIB xor is left-associative.
+    assert(Operands.size() >= 2);
+    Term Acc = Operands[0];
+    for (size_t I = 1; I < Operands.size(); ++I)
+      Acc = mkXor(Acc, Operands[I]);
+    return Acc;
+  }
+  case Kind::Implies: {
+    // Right-associative.
+    assert(Operands.size() >= 2);
+    Term Acc = Operands.back();
+    for (size_t I = Operands.size() - 1; I-- > 0;)
+      Acc = mkImplies(Operands[I], Acc);
+    return Acc;
+  }
+  case Kind::Ite:
+    assert(Operands.size() == 3);
+    return mkIte(Operands[0], Operands[1], Operands[2]);
+  case Kind::Eq: {
+    // Chainable: (= a b c) means a=b and b=c.
+    assert(Operands.size() >= 2);
+    if (Operands.size() == 2)
+      return mkEq(Operands[0], Operands[1]);
+    std::vector<Term> Conjuncts;
+    for (size_t I = 0; I + 1 < Operands.size(); ++I)
+      Conjuncts.push_back(mkEq(Operands[I], Operands[I + 1]));
+    return mkAnd(Conjuncts);
+  }
+  case Kind::Distinct:
+    return mkDistinct(Operands);
+  case Kind::Neg:
+    assert(Operands.size() == 1);
+    return mkNeg(Operands[0]);
+  case Kind::Add:
+    return mkAdd(Operands);
+  case Kind::Sub:
+    return mkSub(Operands);
+  case Kind::Mul:
+    return mkMul(Operands);
+  case Kind::IntDiv: {
+    // Left-associative.
+    assert(Operands.size() >= 2);
+    Term Acc = Operands[0];
+    for (size_t I = 1; I < Operands.size(); ++I)
+      Acc = mkIntDiv(Acc, Operands[I]);
+    return Acc;
+  }
+  case Kind::IntMod:
+    assert(Operands.size() == 2);
+    return mkIntMod(Operands[0], Operands[1]);
+  case Kind::IntAbs:
+    assert(Operands.size() == 1);
+    return mkIntAbs(Operands[0]);
+  case Kind::RealDiv: {
+    assert(Operands.size() >= 2);
+    Term Acc = Operands[0];
+    for (size_t I = 1; I < Operands.size(); ++I)
+      Acc = mkRealDiv(Acc, Operands[I]);
+    return Acc;
+  }
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::Ge:
+  case Kind::Gt: {
+    // Chainable comparisons.
+    assert(Operands.size() >= 2);
+    if (Operands.size() == 2)
+      return mkCompare(K, Operands[0], Operands[1]);
+    std::vector<Term> Conjuncts;
+    for (size_t I = 0; I + 1 < Operands.size(); ++I)
+      Conjuncts.push_back(mkCompare(K, Operands[I], Operands[I + 1]));
+    return mkAnd(Conjuncts);
+  }
+  case Kind::BvExtract:
+    assert(Operands.size() == 1);
+    return mkBvExtract(ParamA, ParamB, Operands[0]);
+  case Kind::BvZeroExtend:
+    assert(Operands.size() == 1);
+    return mkBvZeroExtend(ParamA, Operands[0]);
+  case Kind::BvSignExtend:
+    assert(Operands.size() == 1);
+    return mkBvSignExtend(ParamA, Operands[0]);
+  default:
+    break;
+  }
+
+  // Remaining bitvector and floating-point operators. Concat is the one
+  // operator whose operand sorts legitimately differ.
+  assert(!Operands.empty() && "operator needs operands");
+  Sort S = sort(Operands[0]);
+  if (K != Kind::BvConcat)
+    for ([[maybe_unused]] Term Op : Operands)
+      assert(sort(Op) == S && "operand sorts differ");
+
+  switch (K) {
+  case Kind::BvNeg:
+  case Kind::BvNot:
+    assert(Operands.size() == 1 && S.isBitVec());
+    return intern(K, S, Operands);
+  case Kind::BvAdd:
+  case Kind::BvSub:
+  case Kind::BvMul:
+  case Kind::BvAnd:
+  case Kind::BvOr:
+  case Kind::BvXor: {
+    // N-ary, left-associative in SMT-LIB; keep n-ary node.
+    assert(Operands.size() >= 2 && S.isBitVec());
+    return intern(K, S, Operands);
+  }
+  case Kind::BvSDiv:
+  case Kind::BvSRem:
+  case Kind::BvUDiv:
+  case Kind::BvURem:
+  case Kind::BvShl:
+  case Kind::BvLshr:
+  case Kind::BvAshr:
+    assert(Operands.size() == 2 && S.isBitVec());
+    return intern(K, S, Operands);
+  case Kind::BvUle:
+  case Kind::BvUlt:
+  case Kind::BvUge:
+  case Kind::BvUgt:
+  case Kind::BvSle:
+  case Kind::BvSlt:
+  case Kind::BvSge:
+  case Kind::BvSgt:
+  case Kind::BvSAddO:
+  case Kind::BvSSubO:
+  case Kind::BvSMulO:
+  case Kind::BvSDivO:
+    assert(Operands.size() == 2 && S.isBitVec());
+    return intern(K, Sort::boolean(), Operands);
+  case Kind::BvNegO:
+    assert(Operands.size() == 1 && S.isBitVec());
+    return intern(K, Sort::boolean(), Operands);
+  case Kind::BvConcat: {
+    assert(Operands.size() == 2 && "concat is binary");
+    Sort S1 = sort(Operands[1]);
+    assert(S.isBitVec() && S1.isBitVec());
+    return intern(K, Sort::bitVec(S.bitVecWidth() + S1.bitVecWidth()),
+                  Operands);
+  }
+  case Kind::FpNeg:
+  case Kind::FpAbs:
+    assert(Operands.size() == 1 && S.isFloatingPoint());
+    return intern(K, S, Operands);
+  case Kind::FpAdd:
+  case Kind::FpSub:
+  case Kind::FpMul:
+  case Kind::FpDiv:
+    assert(Operands.size() == 2 && S.isFloatingPoint());
+    return intern(K, S, Operands);
+  case Kind::FpLeq:
+  case Kind::FpLt:
+  case Kind::FpGeq:
+  case Kind::FpGt:
+  case Kind::FpEq:
+    assert(Operands.size() == 2 && S.isFloatingPoint());
+    return intern(K, Sort::boolean(), Operands);
+  case Kind::FpIsNaN:
+  case Kind::FpIsInf:
+  case Kind::FpIsZero:
+    assert(Operands.size() == 1 && S.isFloatingPoint());
+    return intern(K, Sort::boolean(), Operands);
+  default:
+    assert(false && "mkApp: unhandled kind");
+    return Term();
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Traversal utilities.
+//===--------------------------------------------------------------------===//
+
+size_t TermManager::dagSize(Term Root) const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<Term> Stack = {Root};
+  size_t Count = 0;
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    ++Count;
+    for (Term Child : children(T))
+      Stack.push_back(Child);
+  }
+  return Count;
+}
+
+std::vector<Term> TermManager::collectVariables(Term Root) const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<Term> Stack = {Root};
+  std::vector<Term> Vars;
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    if (kind(T) == Kind::Variable)
+      Vars.push_back(T);
+    for (Term Child : children(T))
+      Stack.push_back(Child);
+  }
+  return Vars;
+}

@@ -1,0 +1,691 @@
+//===- solver/Icp.cpp - Interval constraint propagation -------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Icp.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace staub;
+
+//===--------------------------------------------------------------------===//
+// Interval arithmetic.
+//===--------------------------------------------------------------------===//
+
+Interval Interval::add(const Interval &RHS) const {
+  Interval Out;
+  if (Lo && RHS.Lo)
+    Out.Lo = *Lo + *RHS.Lo;
+  if (Hi && RHS.Hi)
+    Out.Hi = *Hi + *RHS.Hi;
+  return Out;
+}
+
+Interval Interval::neg() const {
+  Interval Out;
+  if (Hi)
+    Out.Lo = Hi->negated();
+  if (Lo)
+    Out.Hi = Lo->negated();
+  return Out;
+}
+
+Interval Interval::sub(const Interval &RHS) const { return add(RHS.neg()); }
+
+namespace {
+
+/// Extended value for endpoint products: finite, or +/- infinity.
+struct ExtValue {
+  int InfSign = 0; ///< -1, 0 (finite), +1.
+  Rational Finite;
+
+  static ExtValue negInf() { return {-1, Rational()}; }
+  static ExtValue posInf() { return {+1, Rational()}; }
+  static ExtValue fin(Rational V) { return {0, std::move(V)}; }
+
+  bool operator<(const ExtValue &RHS) const {
+    if (InfSign != RHS.InfSign)
+      return InfSign < RHS.InfSign;
+    if (InfSign != 0)
+      return false;
+    return Finite < RHS.Finite;
+  }
+};
+
+/// Multiplies two interval endpoints with IEEE-like infinity rules.
+/// Sign of 0 * inf is resolved conservatively by the caller (it never
+/// calls with that combination; zero endpoints with an unbounded other
+/// side are special-cased in mul()).
+ExtValue extMul(const ExtValue &A, const ExtValue &B) {
+  if (A.InfSign == 0 && B.InfSign == 0)
+    return ExtValue::fin(A.Finite * B.Finite);
+  int SignA = A.InfSign != 0 ? A.InfSign : A.Finite.sign();
+  int SignB = B.InfSign != 0 ? B.InfSign : B.Finite.sign();
+  int Sign = SignA * SignB;
+  if (Sign > 0)
+    return ExtValue::posInf();
+  if (Sign < 0)
+    return ExtValue::negInf();
+  // 0 * inf: the caller treats this as 0 (valid for endpoint hulls when
+  // the zero side is an exact endpoint).
+  return ExtValue::fin(Rational(0));
+}
+
+ExtValue loOf(const Interval &I) {
+  return I.Lo ? ExtValue::fin(*I.Lo) : ExtValue::negInf();
+}
+ExtValue hiOf(const Interval &I) {
+  return I.Hi ? ExtValue::fin(*I.Hi) : ExtValue::posInf();
+}
+
+} // namespace
+
+Interval Interval::mul(const Interval &RHS) const {
+  ExtValue Candidates[4] = {
+      extMul(loOf(*this), loOf(RHS)), extMul(loOf(*this), hiOf(RHS)),
+      extMul(hiOf(*this), loOf(RHS)), extMul(hiOf(*this), hiOf(RHS))};
+  ExtValue Min = Candidates[0], Max = Candidates[0];
+  for (int I = 1; I < 4; ++I) {
+    if (Candidates[I] < Min)
+      Min = Candidates[I];
+    if (Max < Candidates[I])
+      Max = Candidates[I];
+  }
+  Interval Out;
+  if (Min.InfSign == 0)
+    Out.Lo = Min.Finite;
+  if (Max.InfSign == 0)
+    Out.Hi = Max.Finite;
+  return Out;
+}
+
+Interval Interval::div(const Interval &RHS) const {
+  // If the divisor may be zero, give up (sound hull).
+  if (RHS.contains(Rational(0)))
+    return Interval::all();
+  // Divisor has a definite sign; 1/RHS is monotone.
+  Interval Reciprocal;
+  // RHS strictly positive or strictly negative; endpoints may be missing
+  // (e.g. [2, +inf) -> (0, 1/2]).
+  if (RHS.Lo && RHS.Lo->sign() > 0) {
+    // Positive divisor.
+    Reciprocal.Hi = RHS.Lo->inverse();
+    if (RHS.Hi)
+      Reciprocal.Lo = RHS.Hi->inverse();
+    else
+      Reciprocal.Lo = Rational(0); // Slightly loose (closed at 0).
+  } else {
+    assert(RHS.Hi && RHS.Hi->sign() < 0 && "divisor interval spans zero");
+    Reciprocal.Lo = RHS.Hi->inverse();
+    if (RHS.Lo)
+      Reciprocal.Hi = RHS.Lo->inverse();
+    else
+      Reciprocal.Hi = Rational(0);
+  }
+  return mul(Reciprocal);
+}
+
+Interval Interval::abs() const {
+  if (Lo && Lo->sign() >= 0)
+    return *this;
+  if (Hi && Hi->sign() <= 0)
+    return neg();
+  // Interval straddles zero.
+  Interval Out;
+  Out.Lo = Rational(0);
+  if (Lo && Hi)
+    Out.Hi = std::max(Lo->negated(), *Hi, [](const Rational &A,
+                                             const Rational &B) {
+      return A < B;
+    });
+  return Out;
+}
+
+/// Rational integer power helper.
+static Rational ratPow(const Rational &V, unsigned N) {
+  return Rational(V.numerator().pow(N), V.denominator().pow(N));
+}
+
+Interval Interval::pow(unsigned N) const {
+  if (N == 0)
+    return Interval::point(Rational(1));
+  if (N == 1)
+    return *this;
+  if (N % 2 == 1) {
+    // Odd powers are monotone.
+    Interval Out;
+    if (Lo)
+      Out.Lo = ratPow(*Lo, N);
+    if (Hi)
+      Out.Hi = ratPow(*Hi, N);
+    return Out;
+  }
+  // Even powers: work on the absolute value (lower endpoint >= 0).
+  Interval A = abs();
+  Interval Out;
+  Out.Lo = A.Lo ? ratPow(*A.Lo, N) : Rational(0);
+  if (A.Hi)
+    Out.Hi = ratPow(*A.Hi, N);
+  return Out;
+}
+
+Interval Interval::meet(const Interval &RHS) const {
+  Interval Out = *this;
+  if (RHS.Lo && (!Out.Lo || *Out.Lo < *RHS.Lo))
+    Out.Lo = RHS.Lo;
+  if (RHS.Hi && (!Out.Hi || *RHS.Hi < *Out.Hi))
+    Out.Hi = RHS.Hi;
+  return Out;
+}
+
+Interval Interval::roundToInt() const {
+  Interval Out;
+  if (Lo)
+    Out.Lo = Rational(Lo->ceil());
+  if (Hi)
+    Out.Hi = Rational(Hi->floor());
+  return Out;
+}
+
+std::string Interval::toString() const {
+  std::string Out = "[";
+  Out += Lo ? Lo->toString() : "-oo";
+  Out += ", ";
+  Out += Hi ? Hi->toString() : "+oo";
+  Out += "]";
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// IcpSolver.
+//===--------------------------------------------------------------------===//
+
+IcpSolver::IcpSolver(TermManager &Manager, std::vector<Term> Asserts)
+    : Manager(Manager), Assertions(std::move(Asserts)) {
+  Conjunction = Manager.mkAnd(Assertions);
+  Variables = Manager.collectVariables(Conjunction);
+  for (Term Var : Variables)
+    if (Manager.sort(Var).isInt())
+      IntegerMode = true;
+}
+
+Interval
+IcpSolver::evalArith(Term T, const Box &B,
+                     std::unordered_map<uint32_t, Interval> &Memo) const {
+  auto Found = Memo.find(T.id());
+  if (Found != Memo.end())
+    return Found->second;
+
+  Interval Result = Interval::all();
+  switch (Manager.kind(T)) {
+  case Kind::ConstInt:
+    Result = Interval::point(Rational(Manager.intValue(T)));
+    break;
+  case Kind::ConstReal:
+    Result = Interval::point(Manager.realValue(T));
+    break;
+  case Kind::Variable: {
+    for (size_t I = 0; I < Variables.size(); ++I)
+      if (Variables[I] == T) {
+        Result = B[I];
+        break;
+      }
+    break;
+  }
+  case Kind::Neg:
+    Result = evalArith(Manager.child(T, 0), B, Memo).neg();
+    break;
+  case Kind::IntAbs:
+    Result = evalArith(Manager.child(T, 0), B, Memo).abs();
+    break;
+  case Kind::Add: {
+    Result = evalArith(Manager.child(T, 0), B, Memo);
+    for (unsigned I = 1; I < Manager.numChildren(T); ++I)
+      Result = Result.add(evalArith(Manager.child(T, I), B, Memo));
+    break;
+  }
+  case Kind::Sub: {
+    Result = evalArith(Manager.child(T, 0), B, Memo);
+    for (unsigned I = 1; I < Manager.numChildren(T); ++I)
+      Result = Result.sub(evalArith(Manager.child(T, I), B, Memo));
+    break;
+  }
+  case Kind::Mul: {
+    // Group identical factors so even powers are known non-negative
+    // (plain interval products lose the x*x dependency).
+    std::vector<std::pair<uint32_t, unsigned>> Groups;
+    for (Term Child : Manager.children(T)) {
+      bool Found = false;
+      for (auto &[Id, Count] : Groups)
+        if (Id == Child.id()) {
+          ++Count;
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Groups.emplace_back(Child.id(), 1);
+    }
+    bool First = true;
+    for (const auto &[Id, Count] : Groups) {
+      Interval Factor = evalArith(Term(Id), B, Memo).pow(Count);
+      Result = First ? Factor : Result.mul(Factor);
+      First = false;
+    }
+    break;
+  }
+  case Kind::RealDiv:
+    Result = evalArith(Manager.child(T, 0), B, Memo)
+                 .div(evalArith(Manager.child(T, 1), B, Memo));
+    break;
+  case Kind::IntDiv: {
+    // Euclidean division: overapproximate via real division hull +-1.
+    Interval Quotient = evalArith(Manager.child(T, 0), B, Memo)
+                            .div(evalArith(Manager.child(T, 1), B, Memo));
+    if (Quotient.Lo)
+      Quotient.Lo = *Quotient.Lo - Rational(1);
+    if (Quotient.Hi)
+      Quotient.Hi = *Quotient.Hi + Rational(1);
+    Result = Quotient.roundToInt();
+    break;
+  }
+  case Kind::IntMod: {
+    // 0 <= mod < |divisor|.
+    Interval Divisor = evalArith(Manager.child(T, 1), B, Memo).abs();
+    Result.Lo = Rational(0);
+    if (Divisor.Hi)
+      Result.Hi = *Divisor.Hi;
+    break;
+  }
+  case Kind::Ite: {
+    TriState Cond = evalBool(Manager.child(T, 0), B, Memo);
+    Interval Then = evalArith(Manager.child(T, 1), B, Memo);
+    Interval Else = evalArith(Manager.child(T, 2), B, Memo);
+    if (Cond == TriState::True)
+      Result = Then;
+    else if (Cond == TriState::False)
+      Result = Else;
+    else {
+      // Hull of both branches.
+      Result = Then;
+      if (!Else.Lo || (Result.Lo && *Else.Lo < *Result.Lo))
+        Result.Lo = Else.Lo;
+      if (!Else.Hi || (Result.Hi && *Result.Hi < *Else.Hi))
+        Result.Hi = Else.Hi;
+    }
+    break;
+  }
+  default:
+    Result = Interval::all(); // Sound fallback.
+    break;
+  }
+  if (IntegerMode && Manager.sort(T).isInt())
+    Result = Result.roundToInt();
+  Memo.emplace(T.id(), Result);
+  return Result;
+}
+
+TriState
+IcpSolver::evalBool(Term T, const Box &B,
+                    std::unordered_map<uint32_t, Interval> &Memo) const {
+  switch (Manager.kind(T)) {
+  case Kind::ConstBool:
+    return Manager.boolValue(T) ? TriState::True : TriState::False;
+  case Kind::Not: {
+    TriState Inner = evalBool(Manager.child(T, 0), B, Memo);
+    if (Inner == TriState::True)
+      return TriState::False;
+    if (Inner == TriState::False)
+      return TriState::True;
+    return TriState::Unknown;
+  }
+  case Kind::And: {
+    bool AnyUnknown = false;
+    for (Term Child : Manager.children(T)) {
+      TriState V = evalBool(Child, B, Memo);
+      if (V == TriState::False)
+        return TriState::False;
+      if (V == TriState::Unknown)
+        AnyUnknown = true;
+    }
+    return AnyUnknown ? TriState::Unknown : TriState::True;
+  }
+  case Kind::Or: {
+    bool AnyUnknown = false;
+    for (Term Child : Manager.children(T)) {
+      TriState V = evalBool(Child, B, Memo);
+      if (V == TriState::True)
+        return TriState::True;
+      if (V == TriState::Unknown)
+        AnyUnknown = true;
+    }
+    return AnyUnknown ? TriState::Unknown : TriState::False;
+  }
+  case Kind::Xor: {
+    TriState A = evalBool(Manager.child(T, 0), B, Memo);
+    TriState BV = evalBool(Manager.child(T, 1), B, Memo);
+    if (A == TriState::Unknown || BV == TriState::Unknown)
+      return TriState::Unknown;
+    return A != BV ? TriState::True : TriState::False;
+  }
+  case Kind::Implies: {
+    TriState A = evalBool(Manager.child(T, 0), B, Memo);
+    if (A == TriState::False)
+      return TriState::True;
+    TriState BV = evalBool(Manager.child(T, 1), B, Memo);
+    if (BV == TriState::True)
+      return TriState::True;
+    if (A == TriState::True && BV == TriState::False)
+      return TriState::False;
+    return TriState::Unknown;
+  }
+  case Kind::Ite: {
+    TriState Cond = evalBool(Manager.child(T, 0), B, Memo);
+    if (Cond == TriState::True)
+      return evalBool(Manager.child(T, 1), B, Memo);
+    if (Cond == TriState::False)
+      return evalBool(Manager.child(T, 2), B, Memo);
+    TriState Then = evalBool(Manager.child(T, 1), B, Memo);
+    TriState Else = evalBool(Manager.child(T, 2), B, Memo);
+    return Then == Else ? Then : TriState::Unknown;
+  }
+  case Kind::Variable:
+    return TriState::Unknown; // Free boolean: either value possible.
+  case Kind::Eq: {
+    Term A = Manager.child(T, 0), C = Manager.child(T, 1);
+    if (Manager.sort(A).isBool()) {
+      TriState VA = evalBool(A, B, Memo);
+      TriState VC = evalBool(C, B, Memo);
+      if (VA == TriState::Unknown || VC == TriState::Unknown)
+        return TriState::Unknown;
+      return VA == VC ? TriState::True : TriState::False;
+    }
+    Interval IA = evalArith(A, B, Memo);
+    Interval IC = evalArith(C, B, Memo);
+    if (IA.isPoint() && IC.isPoint())
+      return *IA.Lo == *IC.Lo ? TriState::True : TriState::False;
+    // Disjoint intervals: definitely unequal.
+    if ((IA.Hi && IC.Lo && *IA.Hi < *IC.Lo) ||
+        (IC.Hi && IA.Lo && *IC.Hi < *IA.Lo))
+      return TriState::False;
+    return TriState::Unknown;
+  }
+  case Kind::Distinct: {
+    // Pairwise-negated equality; conservative tri-state.
+    auto Children = Manager.children(T);
+    bool AnyUnknown = false;
+    for (size_t I = 0; I < Children.size(); ++I)
+      for (size_t J = I + 1; J < Children.size(); ++J) {
+        Interval IA = evalArith(Children[I], B, Memo);
+        Interval IB = evalArith(Children[J], B, Memo);
+        if (IA.isPoint() && IB.isPoint()) {
+          if (*IA.Lo == *IB.Lo)
+            return TriState::False;
+          continue;
+        }
+        if ((IA.Hi && IB.Lo && *IA.Hi < *IB.Lo) ||
+            (IB.Hi && IA.Lo && *IB.Hi < *IA.Lo))
+          continue; // Definitely distinct.
+        AnyUnknown = true;
+      }
+    return AnyUnknown ? TriState::Unknown : TriState::True;
+  }
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::Ge:
+  case Kind::Gt: {
+    Kind K = Manager.kind(T);
+    Term LhsTerm = Manager.child(T, 0), RhsTerm = Manager.child(T, 1);
+    if (K == Kind::Ge || K == Kind::Gt) {
+      std::swap(LhsTerm, RhsTerm);
+      K = K == Kind::Ge ? Kind::Le : Kind::Lt;
+    }
+    Interval L = evalArith(LhsTerm, B, Memo);
+    Interval R = evalArith(RhsTerm, B, Memo);
+    if (K == Kind::Le) {
+      if (L.Hi && R.Lo && *L.Hi <= *R.Lo)
+        return TriState::True;
+      if (L.Lo && R.Hi && *R.Hi < *L.Lo)
+        return TriState::False;
+      return TriState::Unknown;
+    }
+    // Strict less-than.
+    if (L.Hi && R.Lo && *L.Hi < *R.Lo)
+      return TriState::True;
+    if (L.Lo && R.Hi && *R.Hi <= *L.Lo)
+      return TriState::False;
+    return TriState::Unknown;
+  }
+  default:
+    return TriState::Unknown; // Sound fallback for unhandled atoms.
+  }
+}
+
+TriState IcpSolver::evalFormula(const Box &B) const {
+  std::unordered_map<uint32_t, Interval> Memo;
+  return evalBool(Conjunction, B, Memo);
+}
+
+bool IcpSolver::tryPoint(const std::vector<Rational> &Point,
+                         Model &Out) const {
+  Model Candidate;
+  for (size_t I = 0; I < Variables.size(); ++I) {
+    if (Manager.sort(Variables[I]).isInt()) {
+      if (!Point[I].isInteger())
+        return false;
+      Candidate.set(Variables[I], Value(Point[I].numerator()));
+    } else {
+      Candidate.set(Variables[I], Value(Point[I]));
+    }
+  }
+  if (!evaluatesToTrue(Manager, Conjunction, Candidate))
+    return false;
+  Out = std::move(Candidate);
+  return true;
+}
+
+bool IcpSolver::enumerateIntegerBox(const Box &B, uint64_t Limit,
+                                    Model &Out) const {
+  // Compute the integer point count; bail out if over the limit.
+  uint64_t Count = 1;
+  std::vector<BigInt> Los;
+  std::vector<uint64_t> Sizes;
+  for (const Interval &I : B) {
+    if (!I.Lo || !I.Hi)
+      return false;
+    BigInt Lo = I.Lo->ceil();
+    BigInt Hi = I.Hi->floor();
+    if (Hi < Lo)
+      return false;
+    BigInt SizeBig = Hi - Lo + BigInt(1);
+    auto Size = SizeBig.toInt64();
+    if (!Size || Count > Limit / static_cast<uint64_t>(*Size) + 1)
+      return false;
+    Count *= static_cast<uint64_t>(*Size);
+    if (Count > Limit)
+      return false;
+    Los.push_back(Lo);
+    Sizes.push_back(static_cast<uint64_t>(*Size));
+  }
+  // Odometer enumeration.
+  std::vector<uint64_t> Digits(B.size(), 0);
+  for (uint64_t N = 0; N < Count; ++N) {
+    std::vector<Rational> Point;
+    Point.reserve(B.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      Point.push_back(
+          Rational(Los[I] + BigInt(static_cast<int64_t>(Digits[I]))));
+    if (tryPoint(Point, Out))
+      return true;
+    for (size_t I = 0; I < Digits.size(); ++I) {
+      if (++Digits[I] < Sizes[I])
+        break;
+      Digits[I] = 0;
+    }
+  }
+  return false;
+}
+
+bool IcpSolver::sampleBox(const Box &B, Model &Out) const {
+  // Midpoint, then low/high corners where available.
+  auto MidOf = [](const Interval &I) -> Rational {
+    if (I.Lo && I.Hi)
+      return (*I.Lo + *I.Hi) * Rational(BigInt(1), BigInt(2));
+    if (I.Lo)
+      return *I.Lo;
+    if (I.Hi)
+      return *I.Hi;
+    return Rational(0);
+  };
+  std::vector<Rational> Mid;
+  for (const Interval &I : B)
+    Mid.push_back(MidOf(I));
+  if (tryPoint(Mid, Out))
+    return true;
+  if (IntegerMode) {
+    // Rounded midpoint.
+    std::vector<Rational> Rounded;
+    for (size_t I = 0; I < Mid.size(); ++I) {
+      Rational Candidate(Mid[I].floor());
+      if (!B[I].contains(Candidate))
+        Candidate = Rational(Mid[I].ceil());
+      Rounded.push_back(Candidate);
+    }
+    if (tryPoint(Rounded, Out))
+      return true;
+  }
+  std::vector<Rational> Corner;
+  for (const Interval &I : B)
+    Corner.push_back(I.Lo ? *I.Lo : MidOf(I));
+  if (tryPoint(Corner, Out))
+    return true;
+  Corner.clear();
+  for (const Interval &I : B)
+    Corner.push_back(I.Hi ? *I.Hi : MidOf(I));
+  return tryPoint(Corner, Out);
+}
+
+SolveResult IcpSolver::solve(const IcpOptions &Options) {
+  WallTimer Timer;
+  SolveResult Result;
+
+  // Degenerate case: no variables.
+  if (Variables.empty()) {
+    TriState V = evalFormula({});
+    Result.Status = V == TriState::True    ? SolveStatus::Sat
+                    : V == TriState::False ? SolveStatus::Unsat
+                                           : SolveStatus::Unknown;
+    Result.TimeSeconds = Timer.elapsedSeconds();
+    return Result;
+  }
+
+  // Global check over the unbounded box: the only way ICP proves unsat.
+  Box Unbounded(Variables.size(), Interval::all());
+  TriState Global = evalFormula(Unbounded);
+  if (Global == TriState::False) {
+    Result.Status = SolveStatus::Unsat;
+    Result.TimeSeconds = Timer.elapsedSeconds();
+    return Result;
+  }
+  if (Global == TriState::True && sampleBox(Unbounded, Result.TheModel)) {
+    Result.Status = SolveStatus::Sat;
+    Result.TimeSeconds = Timer.elapsedSeconds();
+    return Result;
+  }
+
+  // Iterative deepening over the initial box size.
+  uint64_t Nodes = 0;
+  for (unsigned BoundLog = Options.InitialBoundLog;
+       BoundLog <= Options.MaxBoundLog; BoundLog += 4) {
+    Rational Bound(BigInt::pow2(BoundLog));
+    Box Root(Variables.size(),
+             Interval::bounded(Bound.negated(), Bound));
+
+    std::deque<Box> Work;
+    Work.push_back(Root);
+    while (!Work.empty()) {
+      if (++Nodes > Options.MaxNodes ||
+          Timer.elapsedSeconds() > Options.TimeoutSeconds) {
+        Result.Status = SolveStatus::Unknown;
+        Result.TimeSeconds = Timer.elapsedSeconds();
+        return Result;
+      }
+      Box Current = std::move(Work.front());
+      Work.pop_front();
+
+      TriState V = evalFormula(Current);
+      if (V == TriState::False)
+        continue;
+      if (V == TriState::True) {
+        if (IntegerMode) {
+          if (enumerateIntegerBox(Current, 4, Result.TheModel) ||
+              sampleBox(Current, Result.TheModel)) {
+            Result.Status = SolveStatus::Sat;
+            Result.TimeSeconds = Timer.elapsedSeconds();
+            return Result;
+          }
+          // True box without a reachable integer point: keep searching.
+        } else if (sampleBox(Current, Result.TheModel)) {
+          Result.Status = SolveStatus::Sat;
+          Result.TimeSeconds = Timer.elapsedSeconds();
+          return Result;
+        }
+      }
+
+      // Try cheap witnesses before splitting.
+      if (IntegerMode &&
+          enumerateIntegerBox(Current, Options.EnumerationLimit,
+                              Result.TheModel)) {
+        Result.Status = SolveStatus::Sat;
+        Result.TimeSeconds = Timer.elapsedSeconds();
+        return Result;
+      }
+      if (sampleBox(Current, Result.TheModel)) {
+        Result.Status = SolveStatus::Sat;
+        Result.TimeSeconds = Timer.elapsedSeconds();
+        return Result;
+      }
+
+      // Branch on the widest variable.
+      size_t WidestVar = 0;
+      Rational WidestWidth(-1);
+      for (size_t I = 0; I < Current.size(); ++I) {
+        const Interval &IV = Current[I];
+        Rational Width = *IV.Hi - *IV.Lo; // Root boxes are bounded.
+        if (WidestWidth < Width) {
+          WidestWidth = Width;
+          WidestVar = I;
+        }
+      }
+      // Stop refining boxes that are already tiny (reals) or single
+      // points (integers).
+      Rational MinWidth = IntegerMode
+                              ? Rational(1)
+                              : Rational(BigInt(1), BigInt::pow2(24));
+      if (WidestWidth <= MinWidth)
+        continue; // Give up on this box; result stays Unknown overall.
+
+      const Interval &Split = Current[WidestVar];
+      Rational Mid = (*Split.Lo + *Split.Hi) * Rational(BigInt(1), BigInt(2));
+      if (IntegerMode)
+        Mid = Rational(Mid.floor());
+      Box Left = Current, Right = Current;
+      Left[WidestVar].Hi = Mid;
+      Right[WidestVar].Lo = IntegerMode ? Mid + Rational(1) : Mid;
+      if (!Left[WidestVar].isEmpty())
+        Work.push_back(std::move(Left));
+      if (!Right[WidestVar].isEmpty())
+        Work.push_back(std::move(Right));
+    }
+    // Box exhausted without a model; a larger box may still contain one.
+  }
+
+  Result.Status = SolveStatus::Unknown;
+  Result.TimeSeconds = Timer.elapsedSeconds();
+  return Result;
+}

@@ -1,0 +1,115 @@
+//===- solver/Icp.h - Interval constraint propagation -----------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval-based search for nonlinear integer and real arithmetic
+/// (MiniSMT's NIA/NRA engine, in the spirit of dReal-style ICP): exact
+/// rational interval arithmetic with unbounded endpoints, tri-state
+/// interval evaluation of full formulas, and branch-and-prune search with
+/// iterative deepening of the initial box. Candidate boxes are discharged
+/// with the exact evaluator, so a Sat answer always carries a checked
+/// model. This engine is intentionally the "slow unbounded path" that
+/// theory arbitrage routes around.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SOLVER_ICP_H
+#define STAUB_SOLVER_ICP_H
+
+#include "smtlib/Term.h"
+#include "solver/Solver.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace staub {
+
+/// A closed rational interval, possibly unbounded on either side.
+struct Interval {
+  std::optional<Rational> Lo; ///< Absent = -infinity.
+  std::optional<Rational> Hi; ///< Absent = +infinity.
+
+  static Interval all() { return {}; }
+  static Interval point(Rational V) { return {V, V}; }
+  static Interval bounded(Rational Low, Rational High) {
+    return {std::move(Low), std::move(High)};
+  }
+
+  bool isEmpty() const { return Lo && Hi && *Hi < *Lo; }
+  bool isPoint() const { return Lo && Hi && *Lo == *Hi; }
+  bool contains(const Rational &V) const {
+    return (!Lo || *Lo <= V) && (!Hi || V <= *Hi);
+  }
+
+  Interval add(const Interval &RHS) const;
+  Interval sub(const Interval &RHS) const;
+  Interval neg() const;
+  Interval mul(const Interval &RHS) const;
+  /// Hull of the quotient; returns all() when RHS may be zero.
+  Interval div(const Interval &RHS) const;
+  Interval abs() const;
+  /// Interval power x^N with dependency awareness (even powers are
+  /// non-negative).
+  Interval pow(unsigned N) const;
+  /// Intersection (may be empty).
+  Interval meet(const Interval &RHS) const;
+  /// Shrinks to integral endpoints (ceil(lo), floor(hi)).
+  Interval roundToInt() const;
+
+  std::string toString() const;
+};
+
+/// Tri-state truth value of a formula over a box.
+enum class TriState { False, True, Unknown };
+
+/// Options controlling the ICP search.
+struct IcpOptions {
+  double TimeoutSeconds = 5.0;
+  uint64_t MaxNodes = 200000;        ///< Branch-and-prune node budget.
+  unsigned InitialBoundLog = 8;      ///< First deepening box: [-2^k, 2^k].
+  unsigned MaxBoundLog = 32;         ///< Last deepening box.
+  uint64_t EnumerationLimit = 4096;  ///< Max integer points per small box.
+};
+
+/// Branch-and-prune solver for a conjunction of assertions whose
+/// variables are all Int or all Real.
+class IcpSolver {
+public:
+  IcpSolver(TermManager &Manager, std::vector<Term> Assertions);
+
+  SolveResult solve(const IcpOptions &Options);
+
+private:
+  TermManager &Manager;
+  std::vector<Term> Assertions;
+  Term Conjunction;
+  std::vector<Term> Variables;
+  bool IntegerMode = false;
+
+  /// A box: one interval per variable (indexed like Variables).
+  using Box = std::vector<Interval>;
+
+  Interval evalArith(Term T, const Box &B,
+                     std::unordered_map<uint32_t, Interval> &Memo) const;
+  TriState evalBool(Term T, const Box &B,
+                    std::unordered_map<uint32_t, Interval> &Memo) const;
+  TriState evalFormula(const Box &B) const;
+
+  /// Tests a concrete point against the assertions with the exact
+  /// evaluator; fills the model on success.
+  bool tryPoint(const std::vector<Rational> &Point, Model &Out) const;
+
+  /// Enumerates integer points of a small box; true if a model was found.
+  bool enumerateIntegerBox(const Box &B, uint64_t Limit, Model &Out) const;
+
+  /// Samples a few rational points of a box (midpoint, corners).
+  bool sampleBox(const Box &B, Model &Out) const;
+};
+
+} // namespace staub
+
+#endif // STAUB_SOLVER_ICP_H

@@ -1,0 +1,416 @@
+//===- solver/LinearArith.cpp - Simplex for linear arithmetic -------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearArith.h"
+
+#include <cassert>
+
+using namespace staub;
+
+LinearExpr &LinearExpr::add(const LinearExpr &RHS, const Rational &Scale) {
+  for (const auto &[Var, Coeff] : RHS.Coefficients) {
+    Rational &Slot = Coefficients[Var];
+    Slot += Coeff * Scale;
+    if (Slot.isZero())
+      Coefficients.erase(Var);
+  }
+  Constant += RHS.Constant * Scale;
+  return *this;
+}
+
+void LinearExpr::scale(const Rational &Factor) {
+  if (Factor.isZero()) {
+    Coefficients.clear();
+    Constant = Rational();
+    return;
+  }
+  for (auto &[Var, Coeff] : Coefficients)
+    Coeff *= Factor;
+  Constant *= Factor;
+}
+
+std::optional<LinearExpr> staub::extractLinear(const TermManager &Manager,
+                                               Term T) {
+  switch (Manager.kind(T)) {
+  case Kind::ConstInt: {
+    LinearExpr E;
+    E.Constant = Rational(Manager.intValue(T));
+    return E;
+  }
+  case Kind::ConstReal: {
+    LinearExpr E;
+    E.Constant = Manager.realValue(T);
+    return E;
+  }
+  case Kind::Variable: {
+    LinearExpr E;
+    E.Coefficients[T.id()] = Rational(1);
+    return E;
+  }
+  case Kind::Neg: {
+    auto Inner = extractLinear(Manager, Manager.child(T, 0));
+    if (!Inner)
+      return std::nullopt;
+    Inner->scale(Rational(-1));
+    return Inner;
+  }
+  case Kind::Add: {
+    LinearExpr Sum;
+    for (Term Child : Manager.children(T)) {
+      auto Part = extractLinear(Manager, Child);
+      if (!Part)
+        return std::nullopt;
+      Sum.add(*Part, Rational(1));
+    }
+    return Sum;
+  }
+  case Kind::Sub: {
+    auto First = extractLinear(Manager, Manager.child(T, 0));
+    if (!First)
+      return std::nullopt;
+    for (unsigned I = 1; I < Manager.numChildren(T); ++I) {
+      auto Part = extractLinear(Manager, Manager.child(T, I));
+      if (!Part)
+        return std::nullopt;
+      First->add(*Part, Rational(-1));
+    }
+    return First;
+  }
+  case Kind::Mul: {
+    // Linear only if at most one factor is non-constant.
+    LinearExpr Accumulated;
+    Accumulated.Constant = Rational(1);
+    bool HaveVariablePart = false;
+    LinearExpr VariablePart;
+    Rational ConstFactor(1);
+    for (Term Child : Manager.children(T)) {
+      auto Part = extractLinear(Manager, Child);
+      if (!Part)
+        return std::nullopt;
+      if (Part->isConstant()) {
+        ConstFactor *= Part->Constant;
+        continue;
+      }
+      if (HaveVariablePart)
+        return std::nullopt; // Variable * variable: nonlinear.
+      HaveVariablePart = true;
+      VariablePart = std::move(*Part);
+    }
+    if (!HaveVariablePart) {
+      LinearExpr E;
+      E.Constant = ConstFactor;
+      return E;
+    }
+    VariablePart.scale(ConstFactor);
+    return VariablePart;
+  }
+  case Kind::RealDiv: {
+    auto Numerator = extractLinear(Manager, Manager.child(T, 0));
+    auto Denominator = extractLinear(Manager, Manager.child(T, 1));
+    if (!Numerator || !Denominator || !Denominator->isConstant() ||
+        Denominator->Constant.isZero())
+      return std::nullopt;
+    Numerator->scale(Denominator->Constant.inverse());
+    return Numerator;
+  }
+  default:
+    return std::nullopt; // div/mod/abs/ite and everything else.
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Simplex.
+//===--------------------------------------------------------------------===//
+
+unsigned Simplex::newInternalVariable() {
+  unsigned Index = static_cast<unsigned>(Assignment.size());
+  Lower.emplace_back();
+  Upper.emplace_back();
+  Assignment.emplace_back();
+  RowOf.push_back(-1);
+  return Index;
+}
+
+unsigned Simplex::addVariable() {
+  ++NumProblemVars;
+  return newInternalVariable();
+}
+
+void Simplex::updateNonbasic(unsigned Var, const DeltaRational &NewValue) {
+  assert(RowOf[Var] < 0 && "updateNonbasic on a basic variable");
+  DeltaRational Delta = NewValue - Assignment[Var];
+  for (Row &R : Rows) {
+    auto It = R.Coeffs.find(Var);
+    if (It != R.Coeffs.end())
+      Assignment[R.BasicVar] =
+          Assignment[R.BasicVar] + Delta.scaled(It->second);
+  }
+  Assignment[Var] = NewValue;
+}
+
+bool Simplex::assertUpper(unsigned Var, const DeltaRational &Value) {
+  if (Upper[Var].Present && Upper[Var].Value <= Value)
+    return true;
+  if (Lower[Var].Present && Value < Lower[Var].Value) {
+    Conflict = true;
+    return false;
+  }
+  Upper[Var].Present = true;
+  Upper[Var].Value = Value;
+  if (RowOf[Var] < 0 && Value < Assignment[Var])
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+bool Simplex::assertLower(unsigned Var, const DeltaRational &Value) {
+  if (Lower[Var].Present && Value <= Lower[Var].Value)
+    return true;
+  if (Upper[Var].Present && Upper[Var].Value < Value) {
+    Conflict = true;
+    return false;
+  }
+  Lower[Var].Present = true;
+  Lower[Var].Value = Value;
+  if (RowOf[Var] < 0 && Assignment[Var] < Value)
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+bool Simplex::assertConstraint(const std::map<unsigned, Rational> &Expr,
+                               const Rational &Constant, Relation Rel) {
+  if (Conflict)
+    return false;
+
+  // Substitute basic variables so the slack row mentions only nonbasic
+  // ones, then introduce the slack variable s = Expr.
+  std::map<unsigned, Rational> Flattened;
+  for (const auto &[Var, Coeff] : Expr) {
+    if (RowOf[Var] < 0) {
+      Rational &Slot = Flattened[Var];
+      Slot += Coeff;
+      if (Slot.isZero())
+        Flattened.erase(Var);
+      continue;
+    }
+    const Row &R = Rows[RowOf[Var]];
+    for (const auto &[Inner, InnerCoeff] : R.Coeffs) {
+      Rational &Slot = Flattened[Inner];
+      Slot += Coeff * InnerCoeff;
+      if (Slot.isZero())
+        Flattened.erase(Inner);
+    }
+  }
+
+  // Pure constant constraint: decide immediately.
+  if (Flattened.empty()) {
+    bool Holds = false;
+    switch (Rel) {
+    case Relation::Le:
+      Holds = Constant <= Rational(0);
+      break;
+    case Relation::Lt:
+      Holds = Constant < Rational(0);
+      break;
+    case Relation::Ge:
+      Holds = Constant >= Rational(0);
+      break;
+    case Relation::Gt:
+      Holds = Constant > Rational(0);
+      break;
+    case Relation::Eq:
+      Holds = Constant.isZero();
+      break;
+    }
+    if (!Holds)
+      Conflict = true;
+    return Holds;
+  }
+
+  unsigned Slack = newInternalVariable();
+  Row NewRow;
+  NewRow.BasicVar = Slack;
+  NewRow.Coeffs = std::move(Flattened);
+  // Initialize the slack assignment to the row's current value.
+  DeltaRational InitialValue;
+  for (const auto &[Var, Coeff] : NewRow.Coeffs)
+    InitialValue = InitialValue + Assignment[Var].scaled(Coeff);
+  Assignment[Slack] = InitialValue;
+  RowOf[Slack] = static_cast<int>(Rows.size());
+  Rows.push_back(std::move(NewRow));
+
+  // Expr OP 0 with Expr = s + Constant, so s OP -Constant.
+  Rational Target = Constant.negated();
+  switch (Rel) {
+  case Relation::Le:
+    return assertUpper(Slack, DeltaRational(Target));
+  case Relation::Lt:
+    return assertUpper(Slack, DeltaRational(Target, Rational(-1)));
+  case Relation::Ge:
+    return assertLower(Slack, DeltaRational(Target));
+  case Relation::Gt:
+    return assertLower(Slack, DeltaRational(Target, Rational(1)));
+  case Relation::Eq:
+    return assertUpper(Slack, DeltaRational(Target)) &&
+           assertLower(Slack, DeltaRational(Target));
+  }
+  return false;
+}
+
+void Simplex::pivot(unsigned BasicVar, unsigned NonbasicVar) {
+  int RowIndex = RowOf[BasicVar];
+  assert(RowIndex >= 0 && "pivot source is not basic");
+  Row &R = Rows[RowIndex];
+  Rational PivotCoeff = R.Coeffs.at(NonbasicVar);
+  assert(!PivotCoeff.isZero() && "pivot on zero coefficient");
+
+  // Solve the row for NonbasicVar:
+  //   BasicVar = sum(c_k x_k)  =>
+  //   NonbasicVar = BasicVar/a - sum_{k != j}(c_k/a x_k).
+  std::map<unsigned, Rational> NewCoeffs;
+  Rational Inverse = PivotCoeff.inverse();
+  NewCoeffs[BasicVar] = Inverse;
+  for (const auto &[Var, Coeff] : R.Coeffs) {
+    if (Var == NonbasicVar)
+      continue;
+    NewCoeffs[Var] = Coeff.negated() * Inverse;
+  }
+  R.BasicVar = NonbasicVar;
+  R.Coeffs = NewCoeffs;
+  RowOf[NonbasicVar] = RowIndex;
+  RowOf[BasicVar] = -1;
+
+  // Substitute NonbasicVar out of every other row.
+  for (Row &Other : Rows) {
+    if (Other.BasicVar == NonbasicVar)
+      continue;
+    auto It = Other.Coeffs.find(NonbasicVar);
+    if (It == Other.Coeffs.end())
+      continue;
+    Rational Factor = It->second;
+    Other.Coeffs.erase(It);
+    for (const auto &[Var, Coeff] : NewCoeffs) {
+      Rational &Slot = Other.Coeffs[Var];
+      Slot += Factor * Coeff;
+      if (Slot.isZero())
+        Other.Coeffs.erase(Var);
+    }
+  }
+}
+
+bool Simplex::check(uint64_t PivotBudget) {
+  Exhausted = false;
+  if (Conflict)
+    return false;
+  uint64_t Pivots = 0;
+
+  for (;;) {
+    // Find the lowest-index basic variable violating a bound (Bland's
+    // rule guarantees termination).
+    unsigned Violating = UINT32_MAX;
+    bool NeedsIncrease = false;
+    for (const Row &R : Rows) {
+      unsigned Var = R.BasicVar;
+      if (Lower[Var].Present && Assignment[Var] < Lower[Var].Value) {
+        if (Var < Violating) {
+          Violating = Var;
+          NeedsIncrease = true;
+        }
+      } else if (Upper[Var].Present && Upper[Var].Value < Assignment[Var]) {
+        if (Var < Violating) {
+          Violating = Var;
+          NeedsIncrease = false;
+        }
+      }
+    }
+    if (Violating == UINT32_MAX)
+      return true; // Feasible.
+
+    if (PivotBudget && ++Pivots > PivotBudget) {
+      Exhausted = true;
+      return false;
+    }
+
+    const Row &R = Rows[RowOf[Violating]];
+    DeltaRational Target = NeedsIncrease ? Lower[Violating].Value
+                                         : Upper[Violating].Value;
+    // Find the lowest-index nonbasic variable that can move the basic one
+    // toward its bound.
+    unsigned Entering = UINT32_MAX;
+    for (const auto &[Var, Coeff] : R.Coeffs) {
+      bool CoeffPositive = Coeff.sign() > 0;
+      bool CanHelp;
+      if (NeedsIncrease == CoeffPositive) {
+        // Need Var to increase.
+        CanHelp = !Upper[Var].Present || Assignment[Var] < Upper[Var].Value;
+      } else {
+        // Need Var to decrease.
+        CanHelp = !Lower[Var].Present || Lower[Var].Value < Assignment[Var];
+      }
+      if (CanHelp && Var < Entering)
+        Entering = Var;
+    }
+    if (Entering == UINT32_MAX) {
+      Conflict = true;
+      return false; // No slack anywhere: infeasible.
+    }
+
+    // Pivot and move the (now nonbasic) violated variable to its bound.
+    Rational PivotCoeff = R.Coeffs.at(Entering);
+    DeltaRational Delta = Target - Assignment[Violating];
+    pivot(Violating, Entering);
+    // After the pivot, Entering is basic. Update values: set Violating to
+    // its bound and propagate through rows.
+    DeltaRational Step = Delta.scaled(PivotCoeff.inverse());
+    DeltaRational NewEnteringValue = Assignment[Entering] + Step;
+    Assignment[Violating] = Target;
+    // Recompute all basic assignments from nonbasic ones for simplicity
+    // and robustness (rows are small in our workloads).
+    Assignment[Entering] = NewEnteringValue;
+    for (const Row &Other : Rows) {
+      DeltaRational Sum;
+      for (const auto &[Var, Coeff] : Other.Coeffs)
+        Sum = Sum + Assignment[Var].scaled(Coeff);
+      Assignment[Other.BasicVar] = Sum;
+    }
+  }
+}
+
+DeltaRational Simplex::value(unsigned Index) const {
+  return Assignment[Index];
+}
+
+Rational Simplex::computeEpsilon() const {
+  // Choose eps in (0, 1] small enough that replacing delta by eps keeps
+  // every asserted bound satisfied.
+  Rational Eps(1);
+  auto Restrict = [&Eps](const DeltaRational &SmallSide,
+                         const DeltaRational &BigSide) {
+    // Requirement: Small.Real + Small.Delta*eps <= Big.Real + Big.Delta*eps.
+    Rational RealGap = BigSide.Real - SmallSide.Real;
+    Rational DeltaGap = SmallSide.Delta - BigSide.Delta;
+    if (DeltaGap.sign() > 0) {
+      // eps <= RealGap / DeltaGap (RealGap > 0 since delta-order holds).
+      Rational Limit = RealGap / DeltaGap;
+      if (Limit < Eps)
+        Eps = Limit;
+    }
+  };
+  for (size_t Var = 0; Var < Assignment.size(); ++Var) {
+    if (Lower[Var].Present)
+      Restrict(Lower[Var].Value, Assignment[Var]);
+    if (Upper[Var].Present)
+      Restrict(Assignment[Var], Upper[Var].Value);
+  }
+  // Use half the bound to stay strictly inside open intervals.
+  return Eps * Rational(BigInt(1), BigInt(2));
+}
+
+Rational Simplex::concreteValue(unsigned Index) const {
+  const DeltaRational &V = Assignment[Index];
+  if (V.Delta.isZero())
+    return V.Real;
+  return V.Real + V.Delta * computeEpsilon();
+}

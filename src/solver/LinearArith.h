@@ -1,0 +1,140 @@
+//===- solver/LinearArith.h - Simplex for linear arithmetic -----*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational linear-arithmetic machinery for MiniSMT: extraction of
+/// linear forms from terms, delta-rationals for strict bounds, and a
+/// general simplex feasibility procedure in the style of Dutertre and
+/// de Moura's "A fast linear-arithmetic solver for DPLL(T)". Integer
+/// feasibility is layered on top via branch-and-bound in MiniSmt.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SOLVER_LINEARARITH_H
+#define STAUB_SOLVER_LINEARARITH_H
+
+#include "smtlib/Term.h"
+#include "support/Rational.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace staub {
+
+/// A linear form sum(Coeff_i * Var_i) + Constant over term variables.
+struct LinearExpr {
+  /// Variable term id -> coefficient. std::map keeps iteration
+  /// deterministic.
+  std::map<uint32_t, Rational> Coefficients;
+  Rational Constant;
+
+  bool isConstant() const { return Coefficients.empty(); }
+
+  LinearExpr &add(const LinearExpr &RHS, const Rational &Scale);
+  void scale(const Rational &Factor);
+};
+
+/// Attempts to view \p T (Int- or Real-sorted) as a linear expression.
+/// Returns std::nullopt for nonlinear or unsupported structure
+/// (variable*variable, div/mod by non-constants, abs, ite, ...).
+std::optional<LinearExpr> extractLinear(const TermManager &Manager, Term T);
+
+/// A rational plus an infinitesimal multiple: r + k*delta. Used to model
+/// strict bounds exactly.
+struct DeltaRational {
+  Rational Real;
+  Rational Delta;
+
+  DeltaRational() = default;
+  DeltaRational(Rational R) : Real(std::move(R)) {}
+  DeltaRational(Rational R, Rational D)
+      : Real(std::move(R)), Delta(std::move(D)) {}
+
+  bool operator==(const DeltaRational &RHS) const {
+    return Real == RHS.Real && Delta == RHS.Delta;
+  }
+  bool operator<(const DeltaRational &RHS) const {
+    return Real < RHS.Real || (Real == RHS.Real && Delta < RHS.Delta);
+  }
+  bool operator<=(const DeltaRational &RHS) const {
+    return *this < RHS || *this == RHS;
+  }
+  DeltaRational operator+(const DeltaRational &RHS) const {
+    return {Real + RHS.Real, Delta + RHS.Delta};
+  }
+  DeltaRational operator-(const DeltaRational &RHS) const {
+    return {Real - RHS.Real, Delta - RHS.Delta};
+  }
+  DeltaRational scaled(const Rational &Factor) const {
+    return {Real * Factor, Delta * Factor};
+  }
+};
+
+/// Feasibility checker for conjunctions of linear constraints over the
+/// rationals. Usage: addVariable() per variable, then assertBound() /
+/// assertConstraint(), then check().
+class Simplex {
+public:
+  /// Kinds of asserted relations (expr OP 0 after normalization).
+  enum class Relation { Le, Lt, Ge, Gt, Eq };
+
+  /// Registers a problem variable and returns its internal index.
+  unsigned addVariable();
+
+  /// Asserts `Expr Relation 0` where Expr maps variable indices (from
+  /// addVariable) to coefficients. Returns false on immediate conflict.
+  bool assertConstraint(const std::map<unsigned, Rational> &Expr,
+                        const Rational &Constant, Relation Rel);
+
+  /// Runs the simplex; returns true if the asserted set is feasible over
+  /// the rationals. \p PivotBudget bounds work (0 = unlimited); exceeding
+  /// it reports feasibility failure through exhausted().
+  bool check(uint64_t PivotBudget = 0);
+
+  /// True if the last check() aborted on budget rather than deciding.
+  bool exhausted() const { return Exhausted; }
+
+  /// Value of variable \p Index in the current (feasible) assignment.
+  DeltaRational value(unsigned Index) const;
+
+  /// Concretizes delta-rational values: picks a rational epsilon > 0 small
+  /// enough that all asserted bounds hold and returns Real + Delta*eps.
+  Rational concreteValue(unsigned Index) const;
+
+private:
+  struct Bound {
+    DeltaRational Value;
+    bool Present = false;
+  };
+
+  /// Total variables = problem variables + slack variables. Rows map each
+  /// basic variable to a linear combination of nonbasic ones.
+  struct Row {
+    unsigned BasicVar;
+    std::map<unsigned, Rational> Coeffs; ///< Over nonbasic variables.
+  };
+
+  unsigned NumProblemVars = 0;
+  std::vector<Bound> Lower, Upper;
+  std::vector<DeltaRational> Assignment;
+  std::vector<int> RowOf;       ///< Var -> row index or -1 if nonbasic.
+  std::vector<Row> Rows;
+  bool Conflict = false;
+  bool Exhausted = false;
+
+  unsigned newInternalVariable();
+  void updateNonbasic(unsigned Var, const DeltaRational &NewValue);
+  void pivot(unsigned BasicVar, unsigned NonbasicVar);
+  bool assertUpper(unsigned Var, const DeltaRational &Value);
+  bool assertLower(unsigned Var, const DeltaRational &Value);
+  /// Epsilon small enough to realize all strict bounds.
+  Rational computeEpsilon() const;
+};
+
+} // namespace staub
+
+#endif // STAUB_SOLVER_LINEARARITH_H

@@ -1,0 +1,77 @@
+//===- solver/Solver.h - Solver backend interface ---------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver-agnostic backend interface STAUB is built against (the paper
+/// stresses that theory arbitrage works with any SMT-LIB-compliant
+/// solver). Two implementations exist: the Z3 adapter (z3adapter/) and the
+/// from-scratch MiniSMT solver (this directory), which stands in for CVC5
+/// in the evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SOLVER_SOLVER_H
+#define STAUB_SOLVER_SOLVER_H
+
+#include "smtlib/Term.h"
+#include "theory/Evaluator.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace staub {
+
+/// Outcome of a solve call.
+enum class SolveStatus { Sat, Unsat, Unknown };
+
+/// Returns "sat", "unsat", or "unknown".
+inline std::string_view toString(SolveStatus Status) {
+  switch (Status) {
+  case SolveStatus::Sat:
+    return "sat";
+  case SolveStatus::Unsat:
+    return "unsat";
+  case SolveStatus::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Per-call resource limits. Timeouts produce Unknown, matching how the
+/// paper counts solver timeouts.
+struct SolverOptions {
+  double TimeoutSeconds = 5.0;
+};
+
+/// Result of a solve call. TheModel is meaningful only when Status is Sat.
+struct SolveResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  Model TheModel;
+  double TimeSeconds = 0.0;
+};
+
+/// Abstract solver backend.
+class SolverBackend {
+public:
+  virtual ~SolverBackend() = default;
+
+  /// Decides the conjunction of \p Assertions.
+  virtual SolveResult solve(TermManager &Manager,
+                            const std::vector<Term> &Assertions,
+                            const SolverOptions &Options) = 0;
+
+  /// Human-readable backend name ("z3", "minismt").
+  virtual std::string_view name() const = 0;
+};
+
+/// Creates the internal from-scratch solver.
+std::unique_ptr<SolverBackend> createMiniSmtSolver();
+
+} // namespace staub
+
+#endif // STAUB_SOLVER_SOLVER_H

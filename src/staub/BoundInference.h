@@ -1,0 +1,62 @@
+//===- staub/BoundInference.h - AI-based bound inference --------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's bound inference (Sec. 4.2): an abstract interpretation over
+/// the constraint DAG whose abstract domain is bit widths for integers and
+/// (magnitude, precision) pairs for reals. Constants abstract to their own
+/// width; variables take the assumption value `x` (the width of the
+/// largest constant plus one, Sec. 4.2 "Soundness and Implications");
+/// each operator applies the transfer functions of Fig. 5. Division's
+/// precision is bounded per the paper's modified semantics
+/// ((m1+m2, p1+p2)) to avoid infinite precision.
+///
+/// The analysis is a single memoized DAG walk, so it runs in time linear
+/// in the constraint size (Sec. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_STAUB_BOUNDINFERENCE_H
+#define STAUB_STAUB_BOUNDINFERENCE_H
+
+#include "smtlib/Term.h"
+
+#include <vector>
+
+namespace staub {
+
+/// Result of integer bound inference.
+struct IntBounds {
+  unsigned VariableAssumption = 0; ///< The paper's `x`.
+  unsigned RootWidth = 0;          ///< [[S]]: width sufficient for all
+                                   ///< intermediates under the assumption.
+};
+
+/// Result of real bound inference: the (magnitude, precision) pair.
+struct RealBounds {
+  unsigned MagnitudeAssumption = 0;
+  unsigned PrecisionAssumption = 0;
+  unsigned RootMagnitude = 0;
+  unsigned RootPrecision = 0;
+};
+
+/// Integer abstract interpretation over the conjunction of \p Assertions.
+/// \p WidthCap clamps the abstract values so pathological constraints
+/// cannot demand absurd widths (the transformation would then be guarded
+/// by overflow predicates anyway).
+IntBounds inferIntBounds(const TermManager &Manager,
+                         const std::vector<Term> &Assertions,
+                         unsigned WidthCap = 64);
+
+/// Real abstract interpretation.
+RealBounds inferRealBounds(const TermManager &Manager,
+                           const std::vector<Term> &Assertions,
+                           unsigned MagnitudeCap = 64,
+                           unsigned PrecisionCap = 64);
+
+} // namespace staub
+
+#endif // STAUB_STAUB_BOUNDINFERENCE_H

@@ -1,0 +1,300 @@
+//===- staub/Staub.cpp - The theory arbitrage pipeline --------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "staub/Staub.h"
+
+#include "staub/BoundInference.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace staub;
+
+std::string_view staub::toString(StaubPath Path) {
+  switch (Path) {
+  case StaubPath::VerifiedSat:
+    return "verified-sat";
+  case StaubPath::BoundedUnsat:
+    return "bounded-unsat";
+  case StaubPath::SemanticDifference:
+    return "semantic-difference";
+  case StaubPath::BoundedUnknown:
+    return "bounded-unknown";
+  case StaubPath::TranslationFailed:
+    return "translation-failed";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+/// Which unbounded sort a constraint set uses; nullopt when mixed or
+/// neither (nothing to arbitrage).
+std::optional<SortKind> unboundedSortOf(const TermManager &Manager,
+                                        const std::vector<Term> &Assertions) {
+  bool HasInt = false, HasReal = false, HasBounded = false;
+  std::vector<bool> Seen(Manager.numTerms(), false);
+  std::vector<Term> Stack(Assertions.begin(), Assertions.end());
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    Sort S = Manager.sort(T);
+    HasInt |= S.isInt();
+    HasReal |= S.isReal();
+    HasBounded |= S.isBitVec() || S.isFloatingPoint();
+    for (Term Child : Manager.children(T))
+      Stack.push_back(Child);
+  }
+  if (HasBounded || (HasInt && HasReal))
+    return std::nullopt;
+  if (HasInt)
+    return SortKind::Int;
+  if (HasReal)
+    return SortKind::Real;
+  return std::nullopt;
+}
+
+} // namespace
+
+StaubOutcome staub::runStaub(TermManager &Manager,
+                             const std::vector<Term> &Assertions,
+                             SolverBackend &Backend,
+                             const StaubOptions &Options,
+                             std::vector<Term> (*Optimizer)(
+                                 TermManager &, const std::vector<Term> &)) {
+  StaubOutcome Outcome;
+  WallTimer Timer;
+
+  // Step 1+2: sort selection and bound inference.
+  auto SortKindUsed = unboundedSortOf(Manager, Assertions);
+  if (!SortKindUsed) {
+    Outcome.Path = StaubPath::TranslationFailed;
+    Outcome.TransSeconds = Timer.elapsedSeconds();
+    return Outcome;
+  }
+
+  TransformResult Transform;
+  if (*SortKindUsed == SortKind::Int) {
+    unsigned Width;
+    if (Options.FixedWidth) {
+      Width = *Options.FixedWidth;
+    } else {
+      IntBounds Bounds = inferIntBounds(Manager, Assertions, Options.WidthCap);
+      Width = Options.UseRootWidth ? Bounds.RootWidth
+                                   : Bounds.VariableAssumption;
+    }
+    Outcome.ChosenWidth = Width;
+    Transform = transformIntToBv(Manager, Assertions, Width);
+  } else {
+    FpFormat Format{0, 0};
+    if (Options.FixedWidth) {
+      // Fixed-width ablation for reals: interpret the width as the total
+      // FP size by picking the standard format of that size.
+      Format = *Options.FixedWidth <= 16   ? FpFormat::float16()
+               : *Options.FixedWidth <= 32 ? FpFormat::float32()
+               : *Options.FixedWidth <= 64 ? FpFormat::float64()
+                                           : FpFormat::float128();
+    } else {
+      RealBounds Bounds = inferRealBounds(Manager, Assertions,
+                                          Options.WidthCap, 112);
+      Format = chooseFpFormat(Bounds.RootMagnitude, Bounds.RootPrecision,
+                              Options.StandardFpFormats);
+    }
+    Outcome.ChosenFormat = Format;
+    Transform = transformRealToFp(Manager, Assertions, Format);
+  }
+
+  if (!Transform.Ok) {
+    Outcome.Path = StaubPath::TranslationFailed;
+    Outcome.TransSeconds = Timer.elapsedSeconds();
+    return Outcome;
+  }
+  Outcome.BoundedAssertions = Transform.Assertions;
+
+  // Optional bounded-theory optimizer (SLOT, RQ2).
+  std::vector<Term> ToSolve = Transform.Assertions;
+  if (Optimizer)
+    ToSolve = Optimizer(Manager, ToSolve);
+  Outcome.TransSeconds = Timer.elapsedSeconds();
+
+  // Step 3: solve the bounded constraint.
+  SolveResult Bounded = Backend.solve(Manager, ToSolve, Options.Solve);
+  Outcome.SolveSeconds = Bounded.TimeSeconds;
+
+  // Step 4: verification (Fig. 6).
+  WallTimer CheckTimer;
+  switch (Bounded.Status) {
+  case SolveStatus::Unsat:
+    Outcome.Path = StaubPath::BoundedUnsat;
+    break;
+  case SolveStatus::Unknown:
+    Outcome.Path = StaubPath::BoundedUnknown;
+    break;
+  case SolveStatus::Sat: {
+    Model Unbounded;
+    if (!convertModelBack(Manager, Transform, Bounded.TheModel, Unbounded)) {
+      Outcome.Path = StaubPath::SemanticDifference;
+      break;
+    }
+    Term Original = Manager.mkAnd(Assertions);
+    if (evaluatesToTrue(Manager, Original, Unbounded)) {
+      Outcome.Path = StaubPath::VerifiedSat;
+      Outcome.VerifiedModel = std::move(Unbounded);
+    } else {
+      Outcome.Path = StaubPath::SemanticDifference;
+    }
+    break;
+  }
+  }
+  Outcome.CheckSeconds = CheckTimer.elapsedSeconds();
+  return Outcome;
+}
+
+PortfolioResult staub::runPortfolioMeasured(
+    TermManager &Manager, const std::vector<Term> &Assertions,
+    SolverBackend &Backend, const StaubOptions &Options,
+    std::vector<Term> (*Optimizer)(TermManager &,
+                                   const std::vector<Term> &)) {
+  PortfolioResult Result;
+
+  // Original lane (T_pre).
+  SolveResult Original = Backend.solve(Manager, Assertions, Options.Solve);
+  Result.OriginalSeconds = Original.TimeSeconds;
+
+  // STAUB lane.
+  Result.Staub = runStaub(Manager, Assertions, Backend, Options, Optimizer);
+  Result.StaubSeconds = Result.Staub.totalSeconds();
+
+  bool OriginalDecided = Original.Status != SolveStatus::Unknown;
+  bool StaubDecided = Result.Staub.Path == StaubPath::VerifiedSat;
+
+  if (StaubDecided && (!OriginalDecided ||
+                       Result.StaubSeconds <= Result.OriginalSeconds)) {
+    Result.Status = SolveStatus::Sat;
+    Result.TheModel = Result.Staub.VerifiedModel;
+    Result.StaubWon = true;
+    Result.PortfolioSeconds = Result.StaubSeconds;
+    return Result;
+  }
+  if (OriginalDecided) {
+    Result.Status = Original.Status;
+    Result.TheModel = std::move(Original.TheModel);
+    Result.PortfolioSeconds = Result.OriginalSeconds;
+    return Result;
+  }
+  // Neither decided.
+  Result.Status = SolveStatus::Unknown;
+  Result.PortfolioSeconds =
+      std::max(Result.OriginalSeconds, Result.StaubSeconds);
+  return Result;
+}
+
+namespace {
+
+/// Deep-copies a term into another manager (for the racing portfolio,
+/// where the two lanes must not share a TermManager across threads).
+Term copyTerm(const TermManager &Src, Term T, TermManager &Dst,
+              std::unordered_map<uint32_t, Term> &Cache) {
+  auto Found = Cache.find(T.id());
+  if (Found != Cache.end())
+    return Found->second;
+  Term Result;
+  switch (Src.kind(T)) {
+  case Kind::ConstBool:
+    Result = Dst.mkBoolConst(Src.boolValue(T));
+    break;
+  case Kind::ConstInt:
+    Result = Dst.mkIntConst(Src.intValue(T));
+    break;
+  case Kind::ConstReal:
+    Result = Dst.mkRealConst(Src.realValue(T));
+    break;
+  case Kind::ConstBitVec:
+    Result = Dst.mkBitVecConst(Src.bitVecValue(T));
+    break;
+  case Kind::ConstFp:
+    Result = Dst.mkFpConst(Src.fpValue(T));
+    break;
+  case Kind::Variable:
+    Result = Dst.mkVariable(Src.variableName(T), Src.sort(T));
+    break;
+  default: {
+    std::vector<Term> Children;
+    for (Term Child : Src.childrenCopy(T))
+      Children.push_back(copyTerm(Src, Child, Dst, Cache));
+    Result = Dst.mkApp(Src.kind(T), Children, Src.paramA(T), Src.paramB(T));
+    break;
+  }
+  }
+  Cache.emplace(T.id(), Result);
+  return Result;
+}
+
+} // namespace
+
+PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
+                                          const std::vector<Term> &Assertions,
+                                          SolverBackend &Backend,
+                                          const StaubOptions &Options) {
+  PortfolioResult Result;
+  WallTimer Timer;
+
+  // Clone the constraint for the original lane so the two threads never
+  // touch the same TermManager.
+  TermManager CloneManager;
+  std::vector<Term> CloneAssertions;
+  {
+    std::unordered_map<uint32_t, Term> Cache;
+    for (Term Assertion : Assertions)
+      CloneAssertions.push_back(
+          copyTerm(Manager, Assertion, CloneManager, Cache));
+  }
+
+  SolveResult Original;
+  double OriginalDone = 0.0;
+  std::thread OriginalLane([&] {
+    Original = Backend.solve(CloneManager, CloneAssertions, Options.Solve);
+    OriginalDone = Timer.elapsedSeconds();
+  });
+
+  StaubOutcome Staub =
+      runStaub(Manager, Assertions, Backend, Options, nullptr);
+  double StaubDone = Timer.elapsedSeconds();
+  OriginalLane.join();
+
+  Result.Staub = Staub;
+  Result.OriginalSeconds = Original.TimeSeconds;
+  Result.StaubSeconds = Staub.totalSeconds();
+
+  bool OriginalDecided = Original.Status != SolveStatus::Unknown;
+  bool StaubDecided = Staub.Path == StaubPath::VerifiedSat;
+  if (StaubDecided && (!OriginalDecided || StaubDone <= OriginalDone)) {
+    Result.Status = SolveStatus::Sat;
+    Result.TheModel = Staub.VerifiedModel;
+    Result.StaubWon = true;
+    Result.PortfolioSeconds = StaubDone;
+    return Result;
+  }
+  if (OriginalDecided) {
+    Result.Status = Original.Status;
+    Result.PortfolioSeconds = OriginalDone;
+    // Model values live in the clone manager's terms; remap by name.
+    for (const auto &[VarId, V] : Original.TheModel) {
+      Term CloneVar(VarId);
+      Term Mine = Manager.lookupVariable(CloneManager.variableName(CloneVar));
+      if (Mine.isValid())
+        Result.TheModel.set(Mine, V);
+    }
+    return Result;
+  }
+  Result.Status = SolveStatus::Unknown;
+  Result.PortfolioSeconds = Timer.elapsedSeconds();
+  return Result;
+}

@@ -1,0 +1,121 @@
+//===- staub/Staub.h - The theory arbitrage pipeline ------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end STAUB pipeline (paper Fig. 3): sort selection, bound
+/// inference via abstract interpretation, translation to the bounded
+/// theory, solving, and verification of the bounded model against the
+/// original constraint under exact unbounded semantics. The portfolio
+/// driver combines STAUB with a plain solver run so no constraint is ever
+/// slowed down (Sec. 4.4 / 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_STAUB_STAUB_H
+#define STAUB_STAUB_STAUB_H
+
+#include "solver/Solver.h"
+#include "staub/Transform.h"
+
+#include <optional>
+
+namespace staub {
+
+/// Knobs for the STAUB pipeline.
+struct StaubOptions {
+  /// Override the inferred width with a fixed one (the paper's 8/16-bit
+  /// ablation, Table 3 "Fixed 8-bit" / "Fixed 16-bit").
+  std::optional<unsigned> FixedWidth;
+  /// Cap on the inferred width.
+  unsigned WidthCap = 64;
+  /// Width policy. The default follows the paper's Fig. 1b: variables take
+  /// the assumption width x (largest constant + 1) and the overflow guards
+  /// keep intermediates honest. Setting this uses the abstract
+  /// interpretation's root width [[S]] instead (sufficient for all
+  /// intermediate values; wider and slower — the Sec. 6.2 ablation).
+  bool UseRootWidth = false;
+  /// Round FP formats up to standard IEEE widths (required for SLOT).
+  bool StandardFpFormats = false;
+  /// Budget for the bounded-side solve.
+  SolverOptions Solve;
+};
+
+/// How a STAUB run ended (Fig. 6).
+enum class StaubPath {
+  VerifiedSat,        ///< Bounded sat, model verifies: answer sat.
+  BoundedUnsat,       ///< Bounded unsat: revert (underapproximation).
+  SemanticDifference, ///< Bounded sat but model fails verification: revert.
+  BoundedUnknown,     ///< Bounded solver gave up: revert.
+  TranslationFailed,  ///< Constraint outside the supported fragment.
+};
+
+/// Returns a short label for a path.
+std::string_view toString(StaubPath Path);
+
+/// Outcome of the STAUB lane alone (without the portfolio's original-side
+/// lane).
+struct StaubOutcome {
+  StaubPath Path = StaubPath::TranslationFailed;
+  /// Verified model in the *original* theory (VerifiedSat only).
+  Model VerifiedModel;
+  /// Timing decomposition (Sec. 5.1): T_trans, T_post, T_check.
+  double TransSeconds = 0.0;
+  double SolveSeconds = 0.0;
+  double CheckSeconds = 0.0;
+  /// Chosen bounds.
+  unsigned ChosenWidth = 0;
+  FpFormat ChosenFormat{0, 0};
+  /// The translated constraint (for SLOT chaining and inspection).
+  std::vector<Term> BoundedAssertions;
+
+  double totalSeconds() const {
+    return TransSeconds + SolveSeconds + CheckSeconds;
+  }
+};
+
+/// Runs the STAUB lane: infer bounds, translate, solve bounded, verify.
+/// \p Backend solves the bounded constraint. An optional \p Optimizer hook
+/// (used to chain SLOT, RQ2) rewrites the bounded assertions before
+/// solving.
+StaubOutcome
+runStaub(TermManager &Manager, const std::vector<Term> &Assertions,
+         SolverBackend &Backend, const StaubOptions &Options,
+         std::vector<Term> (*Optimizer)(TermManager &,
+                                        const std::vector<Term> &) = nullptr);
+
+/// Combined portfolio answer for one constraint.
+struct PortfolioResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  Model TheModel;          ///< Original-theory model when Status == Sat.
+  bool StaubWon = false;   ///< True when the STAUB lane supplied the answer.
+  double OriginalSeconds = 0.0; ///< T_pre.
+  double StaubSeconds = 0.0;    ///< T_trans + T_post + T_check.
+  StaubOutcome Staub;
+  /// Portfolio wall time = min of the two lanes when both decide; the
+  /// deciding lane's time otherwise.
+  double PortfolioSeconds = 0.0;
+};
+
+/// Measured portfolio (Sec. 5.1): runs both lanes to completion and takes
+/// the faster decisive one. Deterministic and load-independent; used by
+/// the benchmark harness.
+PortfolioResult
+runPortfolioMeasured(TermManager &Manager, const std::vector<Term> &Assertions,
+                     SolverBackend &Backend, const StaubOptions &Options,
+                     std::vector<Term> (*Optimizer)(TermManager &,
+                                                    const std::vector<Term> &) =
+                         nullptr);
+
+/// Racing portfolio: runs the two lanes on two threads and returns the
+/// first decisive answer (the deployment configuration).
+PortfolioResult runPortfolioRacing(TermManager &Manager,
+                                   const std::vector<Term> &Assertions,
+                                   SolverBackend &Backend,
+                                   const StaubOptions &Options);
+
+} // namespace staub
+
+#endif // STAUB_STAUB_STAUB_H

@@ -1,0 +1,71 @@
+//===- staub/Transform.h - Unbounded-to-bounded translation -----*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint transformation of Sec. 4.3: given inferred bounds, maps
+/// an Int constraint to bitvectors of the chosen width (inserting
+/// overflow-guard assertions per operation, via the SMT-LIB overflow
+/// predicates) or a Real constraint to floating point of a chosen format
+/// (where rounding differences cannot be guarded and are left to the
+/// verification step). Also provides phi^-1: converting a bounded model
+/// back to the unbounded theory so it can be checked against the original
+/// constraint (Sec. 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_STAUB_TRANSFORM_H
+#define STAUB_STAUB_TRANSFORM_H
+
+#include "smtlib/Term.h"
+#include "theory/Evaluator.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace staub {
+
+/// Result of translating a constraint into a bounded theory.
+struct TransformResult {
+  bool Ok = false;
+  std::string FailReason;
+  /// Translated assertions, including the inserted overflow guards.
+  std::vector<Term> Assertions;
+  /// Original variable -> bounded variable.
+  std::unordered_map<uint32_t, Term> VariableMap;
+  /// Chosen width (Int case) or format (Real case).
+  unsigned Width = 0;
+  FpFormat Format{0, 0};
+};
+
+/// Translates Int assertions to bitvectors of width \p Width. Fails when
+/// a constant does not fit the width or an unsupported operator occurs.
+TransformResult transformIntToBv(TermManager &Manager,
+                                 const std::vector<Term> &Assertions,
+                                 unsigned Width);
+
+/// Translates Real assertions to floating point with the given format.
+TransformResult transformRealToFp(TermManager &Manager,
+                                  const std::vector<Term> &Assertions,
+                                  FpFormat Format);
+
+/// Chooses the smallest floating-point format covering magnitude
+/// \p MagnitudeBits and precision \p PrecisionBits, optionally rounded up
+/// to the standard 16/32/64/128-bit formats (needed when chaining with
+/// SLOT, Sec. 5.3).
+FpFormat chooseFpFormat(unsigned MagnitudeBits, unsigned PrecisionBits,
+                        bool RoundUpToStandard = false);
+
+/// phi^-1: maps a bounded model back to the unbounded theory. Returns
+/// false when a value has no preimage (NaN or infinities, Sec. 4.1
+/// footnote) — a semantic difference by construction.
+bool convertModelBack(const TermManager &Manager,
+                      const TransformResult &Transform, const Model &Bounded,
+                      Model &Unbounded);
+
+} // namespace staub
+
+#endif // STAUB_STAUB_TRANSFORM_H

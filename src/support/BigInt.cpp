@@ -1,0 +1,456 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace staub;
+
+BigInt::BigInt(int64_t Value) {
+  Negative = Value < 0;
+  // Avoid UB on INT64_MIN by negating in unsigned arithmetic.
+  uint64_t Magnitude =
+      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
+  if (Magnitude != 0)
+    Limbs.push_back(static_cast<uint32_t>(Magnitude));
+  if (Magnitude >> 32)
+    Limbs.push_back(static_cast<uint32_t>(Magnitude >> 32));
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+std::optional<BigInt> BigInt::fromString(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  bool Neg = false;
+  size_t Pos = 0;
+  if (Text[0] == '-') {
+    Neg = true;
+    Pos = 1;
+    if (Text.size() == 1)
+      return std::nullopt;
+  }
+  BigInt Result;
+  const BigInt Ten(10);
+  for (; Pos < Text.size(); ++Pos) {
+    char C = Text[Pos];
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Result = Result * Ten + BigInt(C - '0');
+  }
+  if (Neg)
+    Result = Result.negated();
+  return Result;
+}
+
+BigInt BigInt::pow2(unsigned Exp) {
+  BigInt Result;
+  Result.Limbs.assign(Exp / 32 + 1, 0);
+  Result.Limbs[Exp / 32] = 1u << (Exp % 32);
+  return Result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  Result.Negative = false;
+  return Result;
+}
+
+BigInt BigInt::negated() const {
+  BigInt Result = *this;
+  if (!Result.isZero())
+    Result.Negative = !Result.Negative;
+  return Result;
+}
+
+unsigned BigInt::bitWidth() const {
+  if (Limbs.empty())
+    return 0;
+  unsigned High = Limbs.back();
+  unsigned Bits = 0;
+  while (High) {
+    ++Bits;
+    High >>= 1;
+  }
+  return static_cast<unsigned>(Limbs.size() - 1) * 32 + Bits;
+}
+
+unsigned BigInt::minSignedWidth() const {
+  if (isZero())
+    return 1;
+  if (!Negative)
+    return bitWidth() + 1;
+  // -2^(w-1) fits in width w; any other negative value v needs
+  // bitWidth(|v|) + 1 bits.
+  // Check whether the magnitude is an exact power of two.
+  bool PowerOfTwo = true;
+  for (size_t I = 0; I + 1 < Limbs.size(); ++I)
+    if (Limbs[I] != 0) {
+      PowerOfTwo = false;
+      break;
+    }
+  if (PowerOfTwo && (Limbs.back() & (Limbs.back() - 1)) != 0)
+    PowerOfTwo = false;
+  return PowerOfTwo ? bitWidth() : bitWidth() + 1;
+}
+
+bool BigInt::testBit(unsigned Index) const {
+  size_t Limb = Index / 32;
+  if (Limb >= Limbs.size())
+    return false;
+  return (Limbs[Limb] >> (Index % 32)) & 1;
+}
+
+std::optional<int64_t> BigInt::toInt64() const {
+  if (Limbs.size() > 2)
+    return std::nullopt;
+  uint64_t Magnitude = 0;
+  if (!Limbs.empty())
+    Magnitude = Limbs[0];
+  if (Limbs.size() == 2)
+    Magnitude |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (Negative) {
+    if (Magnitude > static_cast<uint64_t>(INT64_MAX) + 1)
+      return std::nullopt;
+    return static_cast<int64_t>(~Magnitude + 1);
+  }
+  if (Magnitude > static_cast<uint64_t>(INT64_MAX))
+    return std::nullopt;
+  return static_cast<int64_t>(Magnitude);
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  // Repeated short division by 10^9.
+  std::vector<uint32_t> Work = Limbs;
+  std::string Digits;
+  const uint32_t Base = 1000000000u;
+  while (!Work.empty()) {
+    uint64_t Remainder = 0;
+    for (size_t I = Work.size(); I-- > 0;) {
+      uint64_t Current = (Remainder << 32) | Work[I];
+      Work[I] = static_cast<uint32_t>(Current / Base);
+      Remainder = Current % Base;
+    }
+    while (!Work.empty() && Work.back() == 0)
+      Work.pop_back();
+    for (int I = 0; I < 9; ++I) {
+      Digits.push_back(static_cast<char>('0' + Remainder % 10));
+      Remainder /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+int BigInt::compareMagnitude(const BigInt &A, const BigInt &B) {
+  if (A.Limbs.size() != B.Limbs.size())
+    return A.Limbs.size() < B.Limbs.size() ? -1 : 1;
+  for (size_t I = A.Limbs.size(); I-- > 0;)
+    if (A.Limbs[I] != B.Limbs[I])
+      return A.Limbs[I] < B.Limbs[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<uint32_t> Result;
+  Result.reserve(Long.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Long.size(); ++I) {
+    uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+    Result.push_back(static_cast<uint32_t>(Sum));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Result.push_back(static_cast<uint32_t>(Carry));
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  assert(A.size() >= B.size() && "subMagnitude requires |A| >= |B|");
+  std::vector<uint32_t> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0) - Borrow;
+    Borrow = Diff < 0 ? 1 : 0;
+    if (Diff < 0)
+      Diff += int64_t(1) << 32;
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  assert(Borrow == 0 && "subMagnitude underflow");
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> Result(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Current = static_cast<uint64_t>(A[I]) * B[J] + Result[I + J] +
+                         Carry;
+      Result[I + J] = static_cast<uint32_t>(Current);
+      Carry = Current >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Current = Result[K] + Carry;
+      Result[K] = static_cast<uint32_t>(Current);
+      Carry = Current >> 32;
+      ++K;
+    }
+  }
+  while (!Result.empty() && Result.back() == 0)
+    Result.pop_back();
+  return Result;
+}
+
+std::vector<uint32_t>
+BigInt::divModMagnitude(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B,
+                        std::vector<uint32_t> &Remainder) {
+  assert(!B.empty() && "division by zero magnitude");
+  Remainder.clear();
+  // Fast path: single-limb divisor.
+  if (B.size() == 1) {
+    uint64_t Divisor = B[0];
+    std::vector<uint32_t> Quotient(A.size(), 0);
+    uint64_t Rem = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Current = (Rem << 32) | A[I];
+      Quotient[I] = static_cast<uint32_t>(Current / Divisor);
+      Rem = Current % Divisor;
+    }
+    while (!Quotient.empty() && Quotient.back() == 0)
+      Quotient.pop_back();
+    if (Rem)
+      Remainder.push_back(static_cast<uint32_t>(Rem));
+    return Quotient;
+  }
+
+  BigInt Dividend;
+  Dividend.Limbs = A;
+  BigInt Divisor;
+  Divisor.Limbs = B;
+  if (compareMagnitude(Dividend, Divisor) < 0) {
+    Remainder = A;
+    return {};
+  }
+
+  // Binary long division over the magnitude bits.
+  unsigned Bits = Dividend.bitWidth();
+  BigInt Rem;
+  std::vector<uint32_t> Quotient((Bits + 31) / 32, 0);
+  for (unsigned I = Bits; I-- > 0;) {
+    // Rem = (Rem << 1) | bit(I).
+    uint32_t Carry = Dividend.testBit(I) ? 1 : 0;
+    for (auto &Limb : Rem.Limbs) {
+      uint32_t NewCarry = Limb >> 31;
+      Limb = (Limb << 1) | Carry;
+      Carry = NewCarry;
+    }
+    if (Carry)
+      Rem.Limbs.push_back(Carry);
+    if (compareMagnitude(Rem, Divisor) >= 0) {
+      Rem.Limbs = subMagnitude(Rem.Limbs, Divisor.Limbs);
+      Rem.trim();
+      Quotient[I / 32] |= 1u << (I % 32);
+    }
+  }
+  while (!Quotient.empty() && Quotient.back() == 0)
+    Quotient.pop_back();
+  Remainder = Rem.Limbs;
+  return Quotient;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt Result;
+  if (Negative == RHS.Negative) {
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else {
+    int Cmp = compareMagnitude(*this, RHS);
+    if (Cmp == 0)
+      return BigInt();
+    if (Cmp > 0) {
+      Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+      Result.Negative = Negative;
+    } else {
+      Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+      Result.Negative = RHS.Negative;
+    }
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + RHS.negated(); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt Result;
+  Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
+  Result.Negative = !Result.Limbs.empty() && (Negative != RHS.Negative);
+  return Result;
+}
+
+BigInt &BigInt::operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+BigInt &BigInt::operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+BigInt &BigInt::operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+BigInt BigInt::divTrunc(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  BigInt Result;
+  std::vector<uint32_t> Remainder;
+  Result.Limbs = divModMagnitude(Limbs, RHS.Limbs, Remainder);
+  Result.Negative = !Result.Limbs.empty() && (Negative != RHS.Negative);
+  return Result;
+}
+
+BigInt BigInt::remTrunc(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  BigInt Result;
+  std::vector<uint32_t> Remainder;
+  divModMagnitude(Limbs, RHS.Limbs, Remainder);
+  Result.Limbs = Remainder;
+  Result.Negative = !Result.Limbs.empty() && Negative;
+  return Result;
+}
+
+BigInt BigInt::divEuclid(const BigInt &RHS) const {
+  BigInt Quotient = divTrunc(RHS);
+  BigInt Remainder = remTrunc(RHS);
+  if (Remainder.isNegative())
+    Quotient = RHS.isNegative() ? Quotient + BigInt(1) : Quotient - BigInt(1);
+  return Quotient;
+}
+
+BigInt BigInt::modEuclid(const BigInt &RHS) const {
+  BigInt Remainder = remTrunc(RHS);
+  if (Remainder.isNegative())
+    Remainder += RHS.abs();
+  return Remainder;
+}
+
+BigInt BigInt::shl(unsigned Amount) const {
+  if (isZero() || Amount == 0)
+    return *this;
+  BigInt Result;
+  unsigned LimbShift = Amount / 32;
+  unsigned BitShift = Amount % 32;
+  Result.Limbs.assign(LimbShift, 0);
+  uint32_t Carry = 0;
+  for (uint32_t Limb : Limbs) {
+    Result.Limbs.push_back((Limb << BitShift) | Carry);
+    Carry = BitShift ? Limb >> (32 - BitShift) : 0;
+  }
+  if (Carry)
+    Result.Limbs.push_back(Carry);
+  Result.Negative = Negative;
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::ashr(unsigned Amount) const {
+  if (isZero() || Amount == 0)
+    return *this;
+  // Floor semantics: for negatives, round toward -inf.
+  BigInt Magnitude = abs();
+  unsigned LimbShift = Amount / 32;
+  unsigned BitShift = Amount % 32;
+  BigInt Result;
+  bool LostBits = false;
+  for (unsigned I = 0; I < std::min<size_t>(LimbShift, Magnitude.Limbs.size());
+       ++I)
+    if (Magnitude.Limbs[I] != 0)
+      LostBits = true;
+  if (LimbShift >= Magnitude.Limbs.size()) {
+    LostBits = !Magnitude.isZero();
+  } else {
+    Result.Limbs.assign(Magnitude.Limbs.begin() + LimbShift,
+                        Magnitude.Limbs.end());
+    if (BitShift) {
+      if (Result.Limbs[0] & ((1u << BitShift) - 1))
+        LostBits = true;
+      for (size_t I = 0; I < Result.Limbs.size(); ++I) {
+        uint32_t High =
+            I + 1 < Result.Limbs.size() ? Result.Limbs[I + 1] : 0;
+        Result.Limbs[I] =
+            (Result.Limbs[I] >> BitShift) | (High << (32 - BitShift));
+      }
+    }
+  }
+  Result.trim();
+  if (Negative) {
+    Result.Negative = !Result.isZero();
+    if (LostBits)
+      Result -= BigInt(1);
+  }
+  return Result;
+}
+
+BigInt BigInt::pow(unsigned Exp) const {
+  BigInt Result(1);
+  BigInt Base = *this;
+  while (Exp) {
+    if (Exp & 1)
+      Result *= Base;
+    Base *= Base;
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt R = X.remTrunc(Y);
+    X = Y;
+    Y = R;
+  }
+  return X;
+}
+
+bool BigInt::operator==(const BigInt &RHS) const {
+  return Negative == RHS.Negative && Limbs == RHS.Limbs;
+}
+
+bool BigInt::operator<(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative;
+  int Cmp = compareMagnitude(*this, RHS);
+  return Negative ? Cmp > 0 : Cmp < 0;
+}
+
+bool BigInt::operator<=(const BigInt &RHS) const {
+  return *this < RHS || *this == RHS;
+}
+
+size_t BigInt::hash() const {
+  size_t Hash = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t Limb : Limbs)
+    Hash = Hash * 1099511628211ull ^ Limb;
+  return Hash;
+}

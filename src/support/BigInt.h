@@ -1,0 +1,148 @@
+//===- support/BigInt.h - Arbitrary-precision integers ----------*- C++ -*-===//
+//
+// Part of the STAUB reproduction. Sign-magnitude arbitrary-precision
+// integers used to model SMT-LIB's unbounded Int sort exactly.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integer arithmetic. Values are stored as a
+/// sign flag plus a little-endian vector of 32-bit limbs. The class
+/// provides both truncated division (C semantics) and Euclidean division
+/// (SMT-LIB `div`/`mod` semantics, where the remainder is non-negative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_BIGINT_H
+#define STAUB_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace staub {
+
+/// Arbitrary-precision signed integer.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t Value);
+
+  /// Parses a decimal string with an optional leading '-'. Returns
+  /// std::nullopt on malformed input.
+  static std::optional<BigInt> fromString(std::string_view Text);
+
+  /// Returns 2^Exp.
+  static BigInt pow2(unsigned Exp);
+
+  /// Returns true if the value is zero.
+  bool isZero() const { return Limbs.empty(); }
+
+  /// Returns true if the value is strictly negative.
+  bool isNegative() const { return Negative; }
+
+  /// Returns true if the value is one.
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// Returns -1, 0, or 1 according to the sign of the value.
+  int sign() const { return isZero() ? 0 : (Negative ? -1 : 1); }
+
+  /// Returns the absolute value.
+  BigInt abs() const;
+
+  /// Returns the negation.
+  BigInt negated() const;
+
+  /// Returns the number of bits in the magnitude (0 for zero). This is the
+  /// position of the highest set bit plus one.
+  unsigned bitWidth() const;
+
+  /// Returns the minimal two's-complement width that can represent this
+  /// value, i.e. the smallest w with -2^(w-1) <= v <= 2^(w-1)-1. Zero needs
+  /// width 1.
+  unsigned minSignedWidth() const;
+
+  /// Returns true if bit \p Index of the magnitude is set.
+  bool testBit(unsigned Index) const;
+
+  /// Returns the value as int64_t if it fits.
+  std::optional<int64_t> toInt64() const;
+
+  /// Returns the decimal string representation.
+  std::string toString() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  BigInt operator-() const { return negated(); }
+
+  BigInt &operator+=(const BigInt &RHS);
+  BigInt &operator-=(const BigInt &RHS);
+  BigInt &operator*=(const BigInt &RHS);
+
+  /// Truncated division (rounds toward zero), like C's `/`. \p RHS must be
+  /// nonzero.
+  BigInt divTrunc(const BigInt &RHS) const;
+
+  /// Truncated remainder, like C's `%`; satisfies
+  /// `a == a.divTrunc(b)*b + a.remTrunc(b)`. \p RHS must be nonzero.
+  BigInt remTrunc(const BigInt &RHS) const;
+
+  /// Euclidean division per SMT-LIB Ints: the unique q with
+  /// `a == q*b + r` and `0 <= r < |b|`. \p RHS must be nonzero.
+  BigInt divEuclid(const BigInt &RHS) const;
+
+  /// Euclidean remainder per SMT-LIB Ints; always in `[0, |b|)`.
+  BigInt modEuclid(const BigInt &RHS) const;
+
+  /// Left shift by \p Amount bits.
+  BigInt shl(unsigned Amount) const;
+
+  /// Arithmetic right shift by \p Amount bits (floor division by 2^Amount).
+  BigInt ashr(unsigned Amount) const;
+
+  /// Raises the value to the power \p Exp.
+  BigInt pow(unsigned Exp) const;
+
+  /// Greatest common divisor of the magnitudes; result is non-negative.
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+
+  bool operator==(const BigInt &RHS) const;
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const;
+  bool operator<=(const BigInt &RHS) const;
+  bool operator>(const BigInt &RHS) const { return RHS < *this; }
+  bool operator>=(const BigInt &RHS) const { return RHS <= *this; }
+
+  /// Hashes the value (for use in unordered containers).
+  size_t hash() const;
+
+private:
+  /// Little-endian 32-bit limbs of the magnitude; no trailing zero limbs.
+  /// An empty vector represents zero.
+  std::vector<uint32_t> Limbs;
+  bool Negative = false;
+
+  void trim();
+  static int compareMagnitude(const BigInt &A, const BigInt &B);
+  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Magnitude division; returns quotient, sets \p Remainder.
+  static std::vector<uint32_t> divModMagnitude(const std::vector<uint32_t> &A,
+                                               const std::vector<uint32_t> &B,
+                                               std::vector<uint32_t> &Remainder);
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_BIGINT_H

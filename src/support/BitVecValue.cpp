@@ -1,0 +1,223 @@
+//===- support/BitVecValue.cpp - Arbitrary-width bitvectors ---------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVecValue.h"
+
+#include <cassert>
+
+using namespace staub;
+
+BitVecValue::BitVecValue(unsigned Width) : Width(Width) {
+  assert(Width >= 1 && "bitvector width must be at least 1");
+}
+
+BitVecValue::BitVecValue(unsigned Width, const BigInt &Value)
+    : Width(Width), Bits(Value) {
+  assert(Width >= 1 && "bitvector width must be at least 1");
+  reduce();
+}
+
+void BitVecValue::reduce() {
+  BigInt Modulus = BigInt::pow2(Width);
+  Bits = Bits.modEuclid(Modulus);
+}
+
+BigInt BitVecValue::toSigned() const {
+  if (!signBit())
+    return Bits;
+  return Bits - BigInt::pow2(Width);
+}
+
+BitVecValue BitVecValue::add(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return BitVecValue(Width, Bits + RHS.Bits);
+}
+
+BitVecValue BitVecValue::sub(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return BitVecValue(Width, Bits - RHS.Bits);
+}
+
+BitVecValue BitVecValue::mul(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return BitVecValue(Width, Bits * RHS.Bits);
+}
+
+BitVecValue BitVecValue::neg() const {
+  return BitVecValue(Width, Bits.negated());
+}
+
+BitVecValue BitVecValue::udiv(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  if (RHS.isZero())
+    return BitVecValue(Width, BigInt::pow2(Width) - BigInt(1));
+  return BitVecValue(Width, Bits.divTrunc(RHS.Bits));
+}
+
+BitVecValue BitVecValue::urem(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  if (RHS.isZero())
+    return *this;
+  return BitVecValue(Width, Bits.remTrunc(RHS.Bits));
+}
+
+BitVecValue BitVecValue::sdiv(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt A = toSigned(), B = RHS.toSigned();
+  if (B.isZero()) {
+    // SMT-LIB: bvsdiv x 0 is all-ones if x >= 0, else 1.
+    if (!A.isNegative())
+      return BitVecValue(Width, BigInt::pow2(Width) - BigInt(1));
+    return BitVecValue(Width, BigInt(1));
+  }
+  return BitVecValue(Width, A.divTrunc(B));
+}
+
+BitVecValue BitVecValue::srem(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt A = toSigned(), B = RHS.toSigned();
+  if (B.isZero())
+    return *this;
+  return BitVecValue(Width, A.remTrunc(B));
+}
+
+BitVecValue BitVecValue::bvand(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt Result;
+  for (unsigned I = 0; I < Width; ++I)
+    if (Bits.testBit(I) && RHS.Bits.testBit(I))
+      Result += BigInt::pow2(I);
+  return BitVecValue(Width, Result);
+}
+
+BitVecValue BitVecValue::bvor(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt Result;
+  for (unsigned I = 0; I < Width; ++I)
+    if (Bits.testBit(I) || RHS.Bits.testBit(I))
+      Result += BigInt::pow2(I);
+  return BitVecValue(Width, Result);
+}
+
+BitVecValue BitVecValue::bvxor(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt Result;
+  for (unsigned I = 0; I < Width; ++I)
+    if (Bits.testBit(I) != RHS.Bits.testBit(I))
+      Result += BigInt::pow2(I);
+  return BitVecValue(Width, Result);
+}
+
+BitVecValue BitVecValue::bvnot() const {
+  return BitVecValue(Width, BigInt::pow2(Width) - BigInt(1) - Bits);
+}
+
+BitVecValue BitVecValue::shl(const BitVecValue &Amount) const {
+  assert(Width == Amount.Width && "width mismatch");
+  if (Amount.Bits >= BigInt(Width))
+    return BitVecValue(Width);
+  unsigned Shift = static_cast<unsigned>(*Amount.Bits.toInt64());
+  return BitVecValue(Width, Bits.shl(Shift));
+}
+
+BitVecValue BitVecValue::lshr(const BitVecValue &Amount) const {
+  assert(Width == Amount.Width && "width mismatch");
+  if (Amount.Bits >= BigInt(Width))
+    return BitVecValue(Width);
+  unsigned Shift = static_cast<unsigned>(*Amount.Bits.toInt64());
+  return BitVecValue(Width, Bits.ashr(Shift));
+}
+
+BitVecValue BitVecValue::ashr(const BitVecValue &Amount) const {
+  assert(Width == Amount.Width && "width mismatch");
+  bool Sign = signBit();
+  if (Amount.Bits >= BigInt(Width))
+    return Sign ? BitVecValue(Width, BigInt(-1)) : BitVecValue(Width);
+  unsigned Shift = static_cast<unsigned>(*Amount.Bits.toInt64());
+  BigInt Shifted = Bits.ashr(Shift);
+  if (Sign) {
+    // Fill the vacated high bits with ones.
+    for (unsigned I = Width - Shift; I < Width; ++I)
+      Shifted += BigInt::pow2(I);
+  }
+  return BitVecValue(Width, Shifted);
+}
+
+bool BitVecValue::ult(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return Bits < RHS.Bits;
+}
+
+bool BitVecValue::ule(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return Bits <= RHS.Bits;
+}
+
+bool BitVecValue::slt(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return toSigned() < RHS.toSigned();
+}
+
+bool BitVecValue::sle(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return toSigned() <= RHS.toSigned();
+}
+
+bool BitVecValue::fitsSigned(const BigInt &Value) const {
+  BigInt Half = BigInt::pow2(Width - 1);
+  return Value >= Half.negated() && Value < Half;
+}
+
+bool BitVecValue::saddOverflow(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return !fitsSigned(toSigned() + RHS.toSigned());
+}
+
+bool BitVecValue::ssubOverflow(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return !fitsSigned(toSigned() - RHS.toSigned());
+}
+
+bool BitVecValue::smulOverflow(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  return !fitsSigned(toSigned() * RHS.toSigned());
+}
+
+bool BitVecValue::sdivOverflow(const BitVecValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  BigInt Min = BigInt::pow2(Width - 1).negated();
+  return toSigned() == Min && RHS.toSigned() == BigInt(-1);
+}
+
+BitVecValue BitVecValue::zext(unsigned NewWidth) const {
+  assert(NewWidth >= Width && "zext must not shrink");
+  return BitVecValue(NewWidth, Bits);
+}
+
+BitVecValue BitVecValue::sext(unsigned NewWidth) const {
+  assert(NewWidth >= Width && "sext must not shrink");
+  return BitVecValue(NewWidth, toSigned());
+}
+
+BitVecValue BitVecValue::extract(unsigned High, unsigned Low) const {
+  assert(High < Width && Low <= High && "extract range out of bounds");
+  return BitVecValue(High - Low + 1, Bits.ashr(Low));
+}
+
+BitVecValue BitVecValue::concat(const BitVecValue &Low) const {
+  return BitVecValue(Width + Low.Width, Bits.shl(Low.Width) + Low.Bits);
+}
+
+std::string BitVecValue::toSmtLib() const {
+  return "(_ bv" + Bits.toString() + " " + std::to_string(Width) + ")";
+}
+
+std::string BitVecValue::toBinaryString() const {
+  std::string Result = "#b";
+  for (unsigned I = Width; I-- > 0;)
+    Result.push_back(testBit(I) ? '1' : '0');
+  return Result;
+}

@@ -1,0 +1,119 @@
+//===- support/BitVecValue.h - Arbitrary-width bitvectors -------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-width two's-complement bitvector values implementing the
+/// SMT-LIB FixedSizeBitVectors semantics, including the overflow predicates
+/// (bvsaddo/bvssubo/bvsmulo/bvsdivo) proposed for SMT-LIB and already
+/// implemented by Z3 and CVC5, which STAUB relies on to guard integer
+/// translation (paper Sec. 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_BITVECVALUE_H
+#define STAUB_SUPPORT_BITVECVALUE_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace staub {
+
+/// A bitvector value of a fixed but arbitrary width.
+class BitVecValue {
+public:
+  /// Constructs the zero vector of width \p Width (>= 1).
+  explicit BitVecValue(unsigned Width);
+
+  /// Constructs from any integer, reduced mod 2^Width (two's complement).
+  BitVecValue(unsigned Width, const BigInt &Value);
+
+  /// Constructs from a machine integer, reduced mod 2^Width.
+  BitVecValue(unsigned Width, int64_t Value)
+      : BitVecValue(Width, BigInt(Value)) {}
+
+  unsigned width() const { return Width; }
+
+  /// The unsigned interpretation, in [0, 2^Width).
+  const BigInt &toUnsigned() const { return Bits; }
+
+  /// The signed two's-complement interpretation, in [-2^(W-1), 2^(W-1)).
+  BigInt toSigned() const;
+
+  bool isZero() const { return Bits.isZero(); }
+  bool testBit(unsigned Index) const { return Bits.testBit(Index); }
+  /// The sign (most significant) bit.
+  bool signBit() const { return Bits.testBit(Width - 1); }
+
+  BitVecValue add(const BitVecValue &RHS) const;
+  BitVecValue sub(const BitVecValue &RHS) const;
+  BitVecValue mul(const BitVecValue &RHS) const;
+  BitVecValue neg() const;
+
+  /// Unsigned division; division by zero yields all-ones per SMT-LIB.
+  BitVecValue udiv(const BitVecValue &RHS) const;
+  /// Unsigned remainder; remainder by zero yields the dividend per SMT-LIB.
+  BitVecValue urem(const BitVecValue &RHS) const;
+  /// Signed division (truncated); division by zero per SMT-LIB.
+  BitVecValue sdiv(const BitVecValue &RHS) const;
+  /// Signed remainder (sign follows dividend); by zero per SMT-LIB.
+  BitVecValue srem(const BitVecValue &RHS) const;
+
+  BitVecValue bvand(const BitVecValue &RHS) const;
+  BitVecValue bvor(const BitVecValue &RHS) const;
+  BitVecValue bvxor(const BitVecValue &RHS) const;
+  BitVecValue bvnot() const;
+  BitVecValue shl(const BitVecValue &Amount) const;
+  BitVecValue lshr(const BitVecValue &Amount) const;
+  BitVecValue ashr(const BitVecValue &Amount) const;
+
+  bool ult(const BitVecValue &RHS) const;
+  bool ule(const BitVecValue &RHS) const;
+  bool slt(const BitVecValue &RHS) const;
+  bool sle(const BitVecValue &RHS) const;
+
+  /// Signed-addition overflow predicate (bvsaddo).
+  bool saddOverflow(const BitVecValue &RHS) const;
+  /// Signed-subtraction overflow predicate (bvssubo).
+  bool ssubOverflow(const BitVecValue &RHS) const;
+  /// Signed-multiplication overflow predicate (bvsmulo).
+  bool smulOverflow(const BitVecValue &RHS) const;
+  /// Signed-division overflow predicate (bvsdivo): MIN / -1.
+  bool sdivOverflow(const BitVecValue &RHS) const;
+
+  /// Zero-extends to \p NewWidth (>= Width).
+  BitVecValue zext(unsigned NewWidth) const;
+  /// Sign-extends to \p NewWidth (>= Width).
+  BitVecValue sext(unsigned NewWidth) const;
+  /// Extracts bits [High:Low], inclusive, High < Width.
+  BitVecValue extract(unsigned High, unsigned Low) const;
+  /// Concatenation: this becomes the high part.
+  BitVecValue concat(const BitVecValue &Low) const;
+
+  bool operator==(const BitVecValue &RHS) const {
+    return Width == RHS.Width && Bits == RHS.Bits;
+  }
+  bool operator!=(const BitVecValue &RHS) const { return !(*this == RHS); }
+
+  /// Renders as an SMT-LIB literal, e.g. "(_ bv855 12)".
+  std::string toSmtLib() const;
+  /// Renders as a binary literal, e.g. "#b0101".
+  std::string toBinaryString() const;
+
+  size_t hash() const { return Bits.hash() * 33 ^ Width; }
+
+private:
+  unsigned Width;
+  BigInt Bits; // Unsigned value in [0, 2^Width).
+
+  void reduce();
+  /// Signed range check helper: true iff \p Value fits in Width signed bits.
+  bool fitsSigned(const BigInt &Value) const;
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_BITVECVALUE_H

@@ -1,0 +1,53 @@
+//===- support/Random.h - Deterministic RNG ---------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic random number generator (SplitMix64) used
+/// by the benchmark generators and the internal solver's decision
+/// heuristics so that every run of the evaluation is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_RANDOM_H
+#define STAUB_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace staub {
+
+/// SplitMix64: tiny, seedable, and statistically adequate for workload
+/// generation and tie-breaking.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Next 64 random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Low, High], inclusive.
+  int64_t range(int64_t Low, int64_t High) {
+    return Low + static_cast<int64_t>(
+                     below(static_cast<uint64_t>(High - Low + 1)));
+  }
+
+  /// Bernoulli trial with probability Numer/Denom.
+  bool chance(uint64_t Numer, uint64_t Denom) { return below(Denom) < Numer; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_RANDOM_H

@@ -1,0 +1,110 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt, used to model SMT-LIB's unbounded
+/// Real sort, the simplex core of the internal solver, and the exact
+/// rounding step of the soft-float implementation. The representation is
+/// always normalized: the denominator is positive and gcd(num, den) == 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_RATIONAL_H
+#define STAUB_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace staub {
+
+/// Exact rational number with normalized BigInt numerator/denominator.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Den(1) {}
+
+  /// Constructs an integer value.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// Constructs an integer value.
+  explicit Rational(BigInt Value) : Num(std::move(Value)), Den(1) {}
+
+  /// Constructs Num/Den; \p Den must be nonzero. Normalizes.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Parses "123", "-4.625", or "1/3" style strings. Returns std::nullopt
+  /// on malformed input.
+  static std::optional<Rational> fromString(std::string_view Text);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isInteger() const { return Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  Rational abs() const;
+  Rational negated() const;
+  /// Multiplicative inverse; value must be nonzero.
+  Rational inverse() const;
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Exact division; \p RHS must be nonzero.
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const { return negated(); }
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  /// Largest integer <= value.
+  BigInt floor() const;
+  /// Smallest integer >= value.
+  BigInt ceil() const;
+
+  /// Number of binary significant digits needed to represent the value
+  /// exactly (the paper's dig(c)): the minimal d >= 0 with 2^d * v integral.
+  /// Returns std::nullopt if no finite d exists (denominator has an odd
+  /// factor, so the binary expansion does not terminate).
+  std::optional<unsigned> binaryPrecision() const;
+
+  /// Returns the value as "p/q" or just "p" when integral.
+  std::string toString() const;
+
+  /// Returns an SMT-LIB Real literal spelling, e.g. "(/ 1.0 3.0)" or "2.5".
+  std::string toSmtLib() const;
+
+  /// Approximate double conversion (for reporting only).
+  double toDouble() const;
+
+  size_t hash() const { return Num.hash() * 31 ^ Den.hash(); }
+
+private:
+  BigInt Num;
+  BigInt Den; // Always positive.
+
+  void normalize();
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_RATIONAL_H

@@ -1,0 +1,353 @@
+//===- support/SoftFloat.cpp - Parameterized IEEE-754 values --------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SoftFloat.h"
+
+#include <cassert>
+
+using namespace staub;
+
+SoftFloat::SoftFloat(FpFormat Format) : Format(Format) {
+  assert(Format.ExponentBits >= 2 && Format.SignificandBits >= 2 &&
+         "degenerate floating-point format");
+}
+
+SoftFloat SoftFloat::zero(FpFormat Format, bool Negative) {
+  SoftFloat Result(Format);
+  Result.Kind = KindType::Zero;
+  Result.Negative = Negative;
+  return Result;
+}
+
+SoftFloat SoftFloat::infinity(FpFormat Format, bool Negative) {
+  SoftFloat Result(Format);
+  Result.Kind = KindType::Infinity;
+  Result.Negative = Negative;
+  return Result;
+}
+
+SoftFloat SoftFloat::nan(FpFormat Format) {
+  SoftFloat Result(Format);
+  Result.Kind = KindType::NaN;
+  return Result;
+}
+
+/// Returns floor(log2(|Value|)) for nonzero \p Value.
+static int floorLog2(const Rational &Value) {
+  const BigInt &Num = Value.numerator();
+  const BigInt &Den = Value.denominator();
+  int Estimate = static_cast<int>(Num.abs().bitWidth()) -
+                 static_cast<int>(Den.bitWidth());
+  // The estimate is within one of the true value; fix up by comparison.
+  // |v| >= 2^k  iff  |num| >= 2^k * den.
+  auto GreaterEqPow2 = [&](int K) {
+    BigInt Lhs = Num.abs();
+    BigInt Rhs = Den;
+    if (K >= 0)
+      Rhs = Rhs.shl(static_cast<unsigned>(K));
+    else
+      Lhs = Lhs.shl(static_cast<unsigned>(-K));
+    return Lhs >= Rhs;
+  };
+  while (!GreaterEqPow2(Estimate))
+    --Estimate;
+  while (GreaterEqPow2(Estimate + 1))
+    ++Estimate;
+  return Estimate;
+}
+
+/// Rounds positive rational \p Value to the nearest integer, ties to even.
+static BigInt roundNearestEven(const Rational &Value) {
+  BigInt Floor = Value.floor();
+  Rational Frac = Value - Rational(Floor);
+  Rational Half(BigInt(1), BigInt(2));
+  if (Frac > Half)
+    return Floor + BigInt(1);
+  if (Frac < Half)
+    return Floor;
+  // Tie: round to even.
+  return Floor.testBit(0) ? Floor + BigInt(1) : Floor;
+}
+
+SoftFloat SoftFloat::fromRational(FpFormat Format, const Rational &Value) {
+  if (Value.isZero())
+    return zero(Format, /*Negative=*/false);
+  bool Negative = Value.isNegative();
+  Rational Magnitude = Value.abs();
+
+  int Exponent = floorLog2(Magnitude);
+  int EMin = Format.minExponent();
+  int EMax = Format.maxExponent();
+  unsigned Sb = Format.SignificandBits;
+  if (Exponent < EMin)
+    Exponent = EMin; // Subnormal range.
+
+  // Scale so the significand is an integer in [2^(sb-1), 2^sb) for normals
+  // (or below 2^(sb-1) for subnormals), then round.
+  int Shift = static_cast<int>(Sb) - 1 - Exponent;
+  Rational Scaled = Shift >= 0
+                        ? Magnitude * Rational(BigInt::pow2(Shift))
+                        : Magnitude / Rational(BigInt::pow2(-Shift));
+  BigInt Significand = roundNearestEven(Scaled);
+  if (Significand.isZero())
+    return zero(Format, Negative);
+  // Rounding may have carried into the next binade.
+  if (Significand.bitWidth() > Sb) {
+    Significand = Significand.ashr(1);
+    ++Exponent;
+  }
+  if (Exponent > EMax)
+    return infinity(Format, Negative);
+
+  SoftFloat Result(Format);
+  Result.Kind = KindType::Finite;
+  Result.Negative = Negative;
+  // The exact rounded value is significand * 2^(Exponent - (sb-1)).
+  int ValueShift = Exponent - static_cast<int>(Sb) + 1;
+  Rational Exact = ValueShift >= 0
+                       ? Rational(Significand) * Rational(BigInt::pow2(ValueShift))
+                       : Rational(Significand, BigInt::pow2(-ValueShift));
+  Result.Value = Negative ? Exact.negated() : Exact;
+  if (Result.Value.isZero())
+    return zero(Format, Negative);
+  return Result;
+}
+
+SoftFloat SoftFloat::fromBits(FpFormat Format, const BitVecValue &Bits) {
+  assert(Bits.width() == Format.totalBits() && "bit pattern width mismatch");
+  unsigned Eb = Format.ExponentBits;
+  unsigned Fb = Format.SignificandBits - 1; // Stored fraction bits.
+  bool Sign = Bits.testBit(Fb + Eb);
+  BitVecValue ExpBits = Bits.extract(Fb + Eb - 1, Fb);
+  BitVecValue FracBits =
+      Fb == 0 ? BitVecValue(1) : Bits.extract(Fb - 1, 0);
+  BigInt Exp = ExpBits.toUnsigned();
+  BigInt Frac = Fb == 0 ? BigInt() : FracBits.toUnsigned();
+  BigInt MaxExp = BigInt::pow2(Eb) - BigInt(1);
+
+  if (Exp == MaxExp)
+    return Frac.isZero() ? infinity(Format, Sign) : nan(Format);
+  int Bias = Format.maxExponent();
+  Rational Magnitude;
+  if (Exp.isZero()) {
+    if (Frac.isZero())
+      return zero(Format, Sign);
+    // Subnormal: frac * 2^(emin - fb).
+    int Shift = Format.minExponent() - static_cast<int>(Fb);
+    Magnitude = Shift >= 0 ? Rational(Frac) * Rational(BigInt::pow2(Shift))
+                           : Rational(Frac, BigInt::pow2(-Shift));
+  } else {
+    BigInt Mantissa = Frac + BigInt::pow2(Fb);
+    int Shift = static_cast<int>(*Exp.toInt64()) - Bias - static_cast<int>(Fb);
+    Magnitude = Shift >= 0
+                    ? Rational(Mantissa) * Rational(BigInt::pow2(Shift))
+                    : Rational(Mantissa, BigInt::pow2(-Shift));
+  }
+  SoftFloat Result(Format);
+  Result.Kind = KindType::Finite;
+  Result.Negative = Sign;
+  Result.Value = Sign ? Magnitude.negated() : Magnitude;
+  return Result;
+}
+
+BitVecValue SoftFloat::toBits() const {
+  unsigned Eb = Format.ExponentBits;
+  unsigned Fb = Format.SignificandBits - 1;
+  unsigned Total = Format.totalBits();
+  BigInt SignBit = Negative && Kind != KindType::NaN
+                       ? BigInt::pow2(Total - 1)
+                       : BigInt();
+  BigInt MaxExp = BigInt::pow2(Eb) - BigInt(1);
+  switch (Kind) {
+  case KindType::NaN:
+    // Canonical quiet NaN: exponent all ones, top fraction bit set.
+    return BitVecValue(Total, MaxExp.shl(Fb) + BigInt::pow2(Fb - 1));
+  case KindType::Infinity:
+    return BitVecValue(Total, SignBit + MaxExp.shl(Fb));
+  case KindType::Zero:
+    return BitVecValue(Total, SignBit);
+  case KindType::Finite:
+    break;
+  }
+  Rational Magnitude = Value.abs();
+  int Exponent = floorLog2(Magnitude);
+  int EMin = Format.minExponent();
+  if (Exponent < EMin)
+    Exponent = EMin;
+  int Shift = static_cast<int>(Format.SignificandBits) - 1 - Exponent;
+  Rational Scaled = Shift >= 0
+                        ? Magnitude * Rational(BigInt::pow2(Shift))
+                        : Magnitude / Rational(BigInt::pow2(-Shift));
+  assert(Scaled.isInteger() && "finite SoftFloat value is not representable");
+  BigInt Significand = Scaled.numerator();
+  BigInt ExpField, FracField;
+  if (Significand.bitWidth() < Format.SignificandBits) {
+    // Subnormal.
+    ExpField = BigInt();
+    FracField = Significand;
+  } else {
+    ExpField = BigInt(Exponent + Format.maxExponent());
+    FracField = Significand - BigInt::pow2(Fb);
+  }
+  return BitVecValue(Total, SignBit + ExpField.shl(Fb) + FracField);
+}
+
+SoftFloat SoftFloat::neg() const {
+  SoftFloat Result = *this;
+  if (Kind == KindType::NaN)
+    return Result;
+  Result.Negative = !Negative;
+  Result.Value = Value.negated();
+  return Result;
+}
+
+SoftFloat SoftFloat::abs() const {
+  SoftFloat Result = *this;
+  if (Kind == KindType::NaN)
+    return Result;
+  Result.Negative = false;
+  Result.Value = Value.abs();
+  return Result;
+}
+
+SoftFloat SoftFloat::roundResult(FpFormat Format, const Rational &Exact) {
+  if (Exact.isZero())
+    return zero(Format, /*Negative=*/false); // RNE: exact zero sums are +0.
+  return fromRational(Format, Exact);
+}
+
+SoftFloat SoftFloat::add(const SoftFloat &RHS) const {
+  assert(Format == RHS.Format && "format mismatch");
+  if (isNaN() || RHS.isNaN())
+    return nan(Format);
+  if (isInfinity() && RHS.isInfinity()) {
+    if (Negative != RHS.Negative)
+      return nan(Format);
+    return *this;
+  }
+  if (isInfinity())
+    return *this;
+  if (RHS.isInfinity())
+    return RHS;
+  if (isZero() && RHS.isZero()) {
+    // (+0)+(−0) = +0 under RNE; like signs keep the sign.
+    return zero(Format, Negative && RHS.Negative);
+  }
+  return roundResult(Format, Value + RHS.Value);
+}
+
+SoftFloat SoftFloat::sub(const SoftFloat &RHS) const {
+  return add(RHS.neg());
+}
+
+SoftFloat SoftFloat::mul(const SoftFloat &RHS) const {
+  assert(Format == RHS.Format && "format mismatch");
+  if (isNaN() || RHS.isNaN())
+    return nan(Format);
+  bool Sign = Negative != RHS.Negative;
+  if (isInfinity() || RHS.isInfinity()) {
+    if (isZero() || RHS.isZero())
+      return nan(Format);
+    return infinity(Format, Sign);
+  }
+  if (isZero() || RHS.isZero())
+    return zero(Format, Sign);
+  SoftFloat Result = fromRational(Format, Value * RHS.Value);
+  if (Result.isZero())
+    Result.Negative = Sign; // Underflow keeps the product sign.
+  return Result;
+}
+
+SoftFloat SoftFloat::div(const SoftFloat &RHS) const {
+  assert(Format == RHS.Format && "format mismatch");
+  if (isNaN() || RHS.isNaN())
+    return nan(Format);
+  bool Sign = Negative != RHS.Negative;
+  if (isInfinity()) {
+    if (RHS.isInfinity())
+      return nan(Format);
+    return infinity(Format, Sign);
+  }
+  if (RHS.isInfinity())
+    return zero(Format, Sign);
+  if (RHS.isZero()) {
+    if (isZero())
+      return nan(Format);
+    return infinity(Format, Sign);
+  }
+  if (isZero())
+    return zero(Format, Sign);
+  SoftFloat Result = fromRational(Format, Value / RHS.Value);
+  if (Result.isZero())
+    Result.Negative = Sign;
+  return Result;
+}
+
+bool SoftFloat::ieeeEquals(const SoftFloat &RHS) const {
+  if (isNaN() || RHS.isNaN())
+    return false;
+  if (isZero() && RHS.isZero())
+    return true; // +0 == -0.
+  if (isInfinity() || RHS.isInfinity())
+    return Kind == RHS.Kind && Negative == RHS.Negative;
+  return Value == RHS.Value;
+}
+
+bool SoftFloat::smtEquals(const SoftFloat &RHS) const {
+  if (isNaN() || RHS.isNaN())
+    return isNaN() && RHS.isNaN();
+  if (Kind != RHS.Kind)
+    return false;
+  if (isZero() || isInfinity())
+    return Negative == RHS.Negative;
+  return Value == RHS.Value;
+}
+
+bool SoftFloat::lessThan(const SoftFloat &RHS) const {
+  if (isNaN() || RHS.isNaN())
+    return false;
+  if (isInfinity())
+    return Negative && !(RHS.isInfinity() && RHS.Negative);
+  if (RHS.isInfinity())
+    return !RHS.Negative;
+  return Value < RHS.Value; // Signed zeros compare equal via rationals.
+}
+
+bool SoftFloat::lessOrEqual(const SoftFloat &RHS) const {
+  if (isNaN() || RHS.isNaN())
+    return false;
+  return lessThan(RHS) || ieeeEquals(RHS);
+}
+
+Rational SoftFloat::maxFinite(FpFormat Format) {
+  // (2^sb - 1) * 2^(emax - sb + 1).
+  BigInt Mantissa = BigInt::pow2(Format.SignificandBits) - BigInt(1);
+  int Shift = Format.maxExponent() - static_cast<int>(Format.SignificandBits) + 1;
+  if (Shift >= 0)
+    return Rational(Mantissa) * Rational(BigInt::pow2(Shift));
+  return Rational(Mantissa, BigInt::pow2(-Shift));
+}
+
+std::string SoftFloat::toString() const {
+  switch (Kind) {
+  case KindType::NaN:
+    return "NaN";
+  case KindType::Infinity:
+    return Negative ? "-oo" : "+oo";
+  case KindType::Zero:
+    return Negative ? "-0" : "+0";
+  case KindType::Finite:
+    return Value.toString();
+  }
+  return "<invalid>";
+}
+
+size_t SoftFloat::hash() const {
+  size_t Hash = static_cast<size_t>(Kind) * 0x9e3779b9;
+  Hash ^= Negative ? 0x5555 : 0;
+  Hash ^= Value.hash();
+  return Hash * 31 + Format.ExponentBits * 7 + Format.SignificandBits;
+}

@@ -1,0 +1,127 @@
+//===- support/SoftFloat.h - Parameterized IEEE-754 values ------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software implementation of SMT-LIB's FloatingPoint theory values with
+/// arbitrary exponent/significand widths `(_ FloatingPoint eb sb)`. Finite
+/// values are stored as exact rationals; add/sub/mul/div are computed
+/// exactly in rational arithmetic and then rounded to nearest, ties to
+/// even (RNE), which yields correctly-rounded IEEE results. This is the
+/// ground truth STAUB's verification step uses to detect floating-point
+/// rounding semantic differences (paper Definition 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_SOFTFLOAT_H
+#define STAUB_SUPPORT_SOFTFLOAT_H
+
+#include "support/BitVecValue.h"
+#include "support/Rational.h"
+
+#include <string>
+
+namespace staub {
+
+/// An SMT-LIB floating-point format: eb exponent bits and sb significand
+/// bits (sb includes the hidden bit, following SMT-LIB).
+struct FpFormat {
+  unsigned ExponentBits;
+  unsigned SignificandBits;
+
+  bool operator==(const FpFormat &RHS) const = default;
+
+  /// Total bit width of the packed representation.
+  unsigned totalBits() const { return 1 + ExponentBits + SignificandBits - 1; }
+
+  /// Maximum unbiased exponent (emax = 2^(eb-1) - 1).
+  int maxExponent() const { return (1 << (ExponentBits - 1)) - 1; }
+  /// Minimum unbiased normal exponent (emin = 1 - emax).
+  int minExponent() const { return 1 - maxExponent(); }
+
+  static FpFormat float16() { return {5, 11}; }
+  static FpFormat float32() { return {8, 24}; }
+  static FpFormat float64() { return {11, 53}; }
+  static FpFormat float128() { return {15, 113}; }
+};
+
+/// A value of an SMT-LIB FloatingPoint sort.
+class SoftFloat {
+public:
+  enum class KindType { Zero, Finite, Infinity, NaN };
+
+  /// Constructs +0 of the given format.
+  explicit SoftFloat(FpFormat Format);
+
+  static SoftFloat zero(FpFormat Format, bool Negative);
+  static SoftFloat infinity(FpFormat Format, bool Negative);
+  static SoftFloat nan(FpFormat Format);
+
+  /// Rounds an exact rational to the nearest representable value (RNE).
+  /// Overflow produces an infinity; values rounding to zero produce a
+  /// signed zero.
+  static SoftFloat fromRational(FpFormat Format, const Rational &Value);
+
+  /// Decodes an IEEE-754 bit pattern of width Format.totalBits().
+  static SoftFloat fromBits(FpFormat Format, const BitVecValue &Bits);
+
+  /// Encodes to the IEEE-754 bit pattern (canonical quiet NaN).
+  BitVecValue toBits() const;
+
+  FpFormat format() const { return Format; }
+  KindType kind() const { return Kind; }
+  bool isNaN() const { return Kind == KindType::NaN; }
+  bool isInfinity() const { return Kind == KindType::Infinity; }
+  bool isZero() const { return Kind == KindType::Zero; }
+  bool isFinite() const {
+    return Kind == KindType::Zero || Kind == KindType::Finite;
+  }
+  /// Sign bit; true for negative (meaningless for NaN, reported false).
+  bool isNegative() const { return Kind != KindType::NaN && Negative; }
+
+  /// The exact value for finite numbers (zero for signed zeros).
+  const Rational &toRational() const { return Value; }
+
+  SoftFloat neg() const;
+  SoftFloat abs() const;
+  /// IEEE addition under RNE.
+  SoftFloat add(const SoftFloat &RHS) const;
+  /// IEEE subtraction under RNE.
+  SoftFloat sub(const SoftFloat &RHS) const;
+  /// IEEE multiplication under RNE.
+  SoftFloat mul(const SoftFloat &RHS) const;
+  /// IEEE division under RNE.
+  SoftFloat div(const SoftFloat &RHS) const;
+
+  /// IEEE equality (fp.eq): NaN is unordered; +0 == -0.
+  bool ieeeEquals(const SoftFloat &RHS) const;
+  /// SMT-LIB `=` on FP sorts: bit identity; NaN = NaN; +0 != -0.
+  bool smtEquals(const SoftFloat &RHS) const;
+  /// fp.lt; false when either side is NaN.
+  bool lessThan(const SoftFloat &RHS) const;
+  /// fp.leq; false when either side is NaN.
+  bool lessOrEqual(const SoftFloat &RHS) const;
+
+  /// The largest finite value of the format.
+  static Rational maxFinite(FpFormat Format);
+
+  /// Renders for diagnostics, e.g. "-3/4", "+oo", "NaN".
+  std::string toString() const;
+
+  size_t hash() const;
+
+private:
+  FpFormat Format;
+  KindType Kind = KindType::Zero;
+  bool Negative = false;
+  Rational Value; // Exact value; zero unless Kind == Finite.
+
+  /// Result sign for exact-zero sums under RNE is positive.
+  static SoftFloat roundResult(FpFormat Format, const Rational &Exact);
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_SOFTFLOAT_H

@@ -1,0 +1,45 @@
+//===- support/Statistics.h - Evaluation statistics -------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics helpers for the evaluation harness. The paper reports
+/// geometric-mean speedups over benchmark sets (Sec. 5.1), counting
+/// timeouts as full-timeout contributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_STATISTICS_H
+#define STAUB_SUPPORT_STATISTICS_H
+
+#include <cmath>
+#include <vector>
+
+namespace staub {
+
+/// Geometric mean of strictly positive samples; returns 1.0 for an empty
+/// set (the neutral speedup).
+inline double geometricMean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double Sample : Samples)
+    LogSum += std::log(Sample);
+  return std::exp(LogSum / static_cast<double>(Samples.size()));
+}
+
+/// Arithmetic mean; returns 0.0 for an empty set.
+inline double arithmeticMean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double Sample : Samples)
+    Sum += Sample;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_STATISTICS_H

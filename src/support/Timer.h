@@ -1,0 +1,40 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the benchmark harness to measure
+/// T_pre, T_trans, T_post, and T_check (paper Sec. 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SUPPORT_TIMER_H
+#define STAUB_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace staub {
+
+/// A simple monotonic stopwatch.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace staub
+
+#endif // STAUB_SUPPORT_TIMER_H

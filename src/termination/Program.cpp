@@ -1,0 +1,373 @@
+//===- termination/Program.cpp - Loop programs ----------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/Program.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace staub;
+
+namespace {
+
+/// Hand-rolled tokenizer/parser for the while-language; error reporting
+/// via messages (no exceptions).
+class ProgramParser {
+public:
+  explicit ProgramParser(std::string_view Source) : Source(Source) {}
+
+  ProgramParseResult run(std::string Name);
+
+private:
+  std::string_view Source;
+  size_t Pos = 0;
+  std::string Error;
+  LoopProgram Program;
+  std::map<std::string, unsigned, std::less<>> VarIndex;
+
+  bool ok() const { return Error.empty(); }
+  void fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " (at offset " + std::to_string(Pos) + ")";
+  }
+
+  void skipSpace() {
+    while (Pos < Source.size()) {
+      if (std::isspace(static_cast<unsigned char>(Source[Pos]))) {
+        ++Pos;
+      } else if (Source[Pos] == '/' && Pos + 1 < Source.size() &&
+                 Source[Pos + 1] == '/') {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eat(std::string_view Text) {
+    skipSpace();
+    if (Source.substr(Pos, Text.size()) != Text)
+      return false;
+    Pos += Text.size();
+    return true;
+  }
+
+  void expect(std::string_view Text) {
+    if (!eat(Text))
+      fail("expected '" + std::string(Text) + "'");
+  }
+
+  std::string parseIdentifier() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+            Source[Pos] == '_'))
+      ++Pos;
+    if (Pos == Start)
+      fail("expected identifier");
+    return std::string(Source.substr(Start, Pos - Start));
+  }
+
+  std::optional<BigInt> parseNumber() {
+    skipSpace();
+    bool Neg = false;
+    size_t Save = Pos;
+    if (Pos < Source.size() && Source[Pos] == '-') {
+      Neg = true;
+      ++Pos;
+    }
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[Pos])))
+      ++Pos;
+    if (Pos == Start) {
+      Pos = Save;
+      return std::nullopt;
+    }
+    auto Value = BigInt::fromString(Source.substr(Start, Pos - Start));
+    if (!Value) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Neg ? Value->negated() : *Value;
+  }
+
+  //===----------------------------------------------------------------===//
+  // Polynomial expressions: term ::= factor (('*') factor)*;
+  // expr ::= term (('+'|'-') term)*. Factors: number | var | (expr).
+  //===----------------------------------------------------------------===//
+
+  UpdateExpr parseExpr();
+  UpdateExpr parseTermExpr();
+  UpdateExpr parseFactor();
+
+  GuardAtom parseGuardAtom();
+
+  static UpdateExpr addExprs(const UpdateExpr &A, const UpdateExpr &B,
+                             int Sign);
+  static UpdateExpr mulExprs(const UpdateExpr &A, const UpdateExpr &B);
+};
+
+UpdateExpr ProgramParser::parseFactor() {
+  skipSpace();
+  UpdateExpr Out;
+  if (eat("(")) {
+    Out = parseExpr();
+    expect(")");
+    return Out;
+  }
+  if (auto Num = parseNumber()) {
+    Monomial Mono;
+    Mono.Coefficient = *Num;
+    Out.Monomials.push_back(std::move(Mono));
+    return Out;
+  }
+  std::string Id = parseIdentifier();
+  if (!ok())
+    return Out;
+  auto It = VarIndex.find(Id);
+  if (It == VarIndex.end()) {
+    fail("use of undeclared variable '" + Id + "'");
+    return Out;
+  }
+  Monomial Mono;
+  Mono.Coefficient = BigInt(1);
+  Mono.Powers[It->second] = 1;
+  Out.Monomials.push_back(std::move(Mono));
+  return Out;
+}
+
+UpdateExpr ProgramParser::mulExprs(const UpdateExpr &A, const UpdateExpr &B) {
+  UpdateExpr Out;
+  for (const Monomial &MA : A.Monomials)
+    for (const Monomial &MB : B.Monomials) {
+      Monomial Product;
+      Product.Coefficient = MA.Coefficient * MB.Coefficient;
+      Product.Powers = MA.Powers;
+      for (const auto &[Var, Exp] : MB.Powers)
+        Product.Powers[Var] += Exp;
+      Out.Monomials.push_back(std::move(Product));
+    }
+  return Out;
+}
+
+UpdateExpr ProgramParser::addExprs(const UpdateExpr &A, const UpdateExpr &B,
+                                   int Sign) {
+  UpdateExpr Out = A;
+  for (Monomial Mono : B.Monomials) {
+    if (Sign < 0)
+      Mono.Coefficient = Mono.Coefficient.negated();
+    Out.Monomials.push_back(std::move(Mono));
+  }
+  return Out;
+}
+
+UpdateExpr ProgramParser::parseTermExpr() {
+  UpdateExpr Out = parseFactor();
+  while (ok()) {
+    if (eat("*")) {
+      Out = mulExprs(Out, parseFactor());
+      continue;
+    }
+    break;
+  }
+  return Out;
+}
+
+UpdateExpr ProgramParser::parseExpr() {
+  UpdateExpr Out = parseTermExpr();
+  while (ok()) {
+    skipSpace();
+    if (eat("+")) {
+      Out = addExprs(Out, parseTermExpr(), +1);
+      continue;
+    }
+    // Careful: '-' must not swallow a unary minus of the next factor's
+    // number; treating it as binary is equivalent.
+    if (Pos < Source.size() && Source[Pos] == '-') {
+      ++Pos;
+      Out = addExprs(Out, parseTermExpr(), -1);
+      continue;
+    }
+    break;
+  }
+  return Out;
+}
+
+GuardAtom ProgramParser::parseGuardAtom() {
+  GuardAtom Atom;
+  UpdateExpr Lhs = parseExpr();
+  skipSpace();
+  Kind Rel;
+  if (eat(">="))
+    Rel = Kind::Ge;
+  else if (eat("<="))
+    Rel = Kind::Le;
+  else if (eat("=="))
+    Rel = Kind::Eq;
+  else if (eat("!=")) {
+    fail("'!=' guards are not supported");
+    return Atom;
+  } else if (eat(">"))
+    Rel = Kind::Gt;
+  else if (eat("<"))
+    Rel = Kind::Lt;
+  else {
+    fail("expected comparison operator");
+    return Atom;
+  }
+  UpdateExpr Rhs = parseExpr();
+  if (!ok())
+    return Atom;
+  // Normalize to (lhs - rhs) REL 0, requiring linearity.
+  UpdateExpr Diff = addExprs(Lhs, Rhs, -1);
+  if (!Diff.isLinear()) {
+    fail("nonlinear guards are not supported");
+    return Atom;
+  }
+  for (const Monomial &Mono : Diff.Monomials) {
+    if (Mono.Powers.empty()) {
+      Atom.Constant += Mono.Coefficient;
+      continue;
+    }
+    unsigned Var = Mono.Powers.begin()->first;
+    Atom.Coefficients[Var] += Mono.Coefficient;
+  }
+  Atom.Relation = Rel;
+  return Atom;
+}
+
+ProgramParseResult ProgramParser::run(std::string Name) {
+  ProgramParseResult Result;
+  Program.Name = std::move(Name);
+
+  expect("vars");
+  while (ok()) {
+    std::string Id = parseIdentifier();
+    if (!ok())
+      break;
+    if (VarIndex.count(Id)) {
+      fail("duplicate variable '" + Id + "'");
+      break;
+    }
+    VarIndex.emplace(Id, static_cast<unsigned>(Program.Variables.size()));
+    Program.Variables.push_back(Id);
+    skipSpace();
+    if (eat(","))
+      continue;
+    expect(";");
+    break;
+  }
+
+  expect("while");
+  expect("(");
+  while (ok()) {
+    Program.Guard.push_back(parseGuardAtom());
+    if (eat("&&"))
+      continue;
+    break;
+  }
+  expect(")");
+  expect("{");
+
+  // Sequential assignments, normalized to a simultaneous update by
+  // substituting earlier assignments into later right-hand sides.
+  std::vector<UpdateExpr> Current(Program.Variables.size());
+  for (unsigned I = 0; I < Program.Variables.size(); ++I) {
+    Monomial Identity;
+    Identity.Coefficient = BigInt(1);
+    Identity.Powers[I] = 1;
+    Current[I].Monomials.push_back(Identity);
+  }
+
+  auto Substitute = [&](const UpdateExpr &Expr) {
+    // Replace each variable occurrence with its current expression.
+    UpdateExpr Out;
+    for (const Monomial &Mono : Expr.Monomials) {
+      UpdateExpr Term;
+      Monomial Scalar;
+      Scalar.Coefficient = Mono.Coefficient;
+      Term.Monomials.push_back(Scalar);
+      for (const auto &[Var, Exp] : Mono.Powers)
+        for (unsigned K = 0; K < Exp; ++K)
+          Term = ProgramParser::mulExprs(Term, Current[Var]);
+      Out = ProgramParser::addExprs(Out, Term, +1);
+    }
+    return Out;
+  };
+
+  while (ok()) {
+    skipSpace();
+    if (eat("}"))
+      break;
+    std::string Id = parseIdentifier();
+    if (!ok())
+      break;
+    auto It = VarIndex.find(Id);
+    if (It == VarIndex.end()) {
+      fail("assignment to undeclared variable '" + Id + "'");
+      break;
+    }
+    expect("=");
+    UpdateExpr Rhs = parseExpr();
+    expect(";");
+    if (!ok())
+      break;
+    Current[It->second] = Substitute(Rhs);
+  }
+
+  Program.Updates = std::move(Current);
+  Result.Ok = ok();
+  Result.Error = Error;
+  Result.Program = std::move(Program);
+  return Result;
+}
+
+} // namespace
+
+ProgramParseResult staub::parseLoopProgram(std::string_view Source,
+                                           std::string Name) {
+  return ProgramParser(Source).run(std::move(Name));
+}
+
+Term staub::guardAtomToTerm(TermManager &Manager, const GuardAtom &Atom,
+                            const std::vector<Term> &Vars) {
+  std::vector<Term> Sum;
+  for (const auto &[Var, Coeff] : Atom.Coefficients) {
+    if (Coeff.isZero())
+      continue;
+    assert(Var < Vars.size() && "guard variable out of range");
+    Sum.push_back(Manager.mkMul(
+        std::vector<Term>{Manager.mkIntConst(Coeff), Vars[Var]}));
+  }
+  Sum.push_back(Manager.mkIntConst(Atom.Constant));
+  Term Lhs = Manager.mkAdd(Sum);
+  Term Zero = Manager.mkIntConst(BigInt(0));
+  if (Atom.Relation == Kind::Eq)
+    return Manager.mkEq(Lhs, Zero);
+  return Manager.mkCompare(Atom.Relation, Lhs, Zero);
+}
+
+Term staub::updateExprToTerm(TermManager &Manager, const UpdateExpr &Update,
+                             const std::vector<Term> &Vars) {
+  std::vector<Term> Sum;
+  for (const Monomial &Mono : Update.Monomials) {
+    if (Mono.Coefficient.isZero())
+      continue;
+    std::vector<Term> Factors = {Manager.mkIntConst(Mono.Coefficient)};
+    for (const auto &[Var, Exp] : Mono.Powers) {
+      assert(Var < Vars.size() && "update variable out of range");
+      for (unsigned K = 0; K < Exp; ++K)
+        Factors.push_back(Vars[Var]);
+    }
+    Sum.push_back(Manager.mkMul(Factors));
+  }
+  if (Sum.empty())
+    return Manager.mkIntConst(BigInt(0));
+  return Manager.mkAdd(Sum);
+}

@@ -1,0 +1,104 @@
+//===- termination/Program.h - Loop programs --------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny imperative while-language for the termination-proving client
+/// (the paper's RQ3 uses Ultimate Automizer on SV-COMP termination tasks;
+/// we reproduce the *constraint generator* side: single-loop integer
+/// programs with guard and simultaneous update). Programs are written as
+///
+///   vars x, y;
+///   while (x >= 0 && y <= 10) {
+///     x = x - 1;
+///     y = y + x;
+///   }
+///
+/// Guards are conjunctions of linear comparisons; updates are polynomial
+/// expressions over the program variables (sequential assignments are
+/// normalized to a simultaneous update by substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_TERMINATION_PROGRAM_H
+#define STAUB_TERMINATION_PROGRAM_H
+
+#include "smtlib/Term.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// A linear atom sum(Coeffs_i * var_i) + Constant REL 0 over variable
+/// indices.
+struct GuardAtom {
+  std::map<unsigned, BigInt> Coefficients;
+  BigInt Constant;
+  Kind Relation = Kind::Le; ///< Le/Lt/Ge/Gt/Eq over the linear form.
+};
+
+/// Polynomial update expression: a sum of monomials.
+struct Monomial {
+  BigInt Coefficient;
+  /// Variable index -> exponent.
+  std::map<unsigned, unsigned> Powers;
+};
+
+struct UpdateExpr {
+  std::vector<Monomial> Monomials;
+
+  bool isLinear() const {
+    for (const Monomial &Mono : Monomials) {
+      unsigned Degree = 0;
+      for (const auto &[Var, Exp] : Mono.Powers)
+        Degree += Exp;
+      if (Degree > 1)
+        return false;
+    }
+    return true;
+  }
+};
+
+/// A single-loop integer program.
+struct LoopProgram {
+  std::string Name;
+  std::vector<std::string> Variables;
+  std::vector<GuardAtom> Guard;
+  /// One update per variable (same order as Variables).
+  std::vector<UpdateExpr> Updates;
+
+  bool isLinear() const {
+    for (const UpdateExpr &Update : Updates)
+      if (!Update.isLinear())
+        return false;
+    return true;
+  }
+};
+
+/// Parse outcome for the while-language.
+struct ProgramParseResult {
+  bool Ok = false;
+  std::string Error;
+  LoopProgram Program;
+};
+
+/// Parses the while-language described in the file comment.
+ProgramParseResult parseLoopProgram(std::string_view Source,
+                                    std::string Name = "loop");
+
+/// Builds the SMT term for a guard atom over the given variable terms.
+Term guardAtomToTerm(TermManager &Manager, const GuardAtom &Atom,
+                     const std::vector<Term> &Vars);
+
+/// Builds the SMT term for an update expression.
+Term updateExprToTerm(TermManager &Manager, const UpdateExpr &Update,
+                      const std::vector<Term> &Vars);
+
+} // namespace staub
+
+#endif // STAUB_TERMINATION_PROGRAM_H

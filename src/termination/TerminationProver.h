@@ -1,0 +1,82 @@
+//===- termination/TerminationProver.h - Ranking synthesis ------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The termination-proving client for RQ3 (Sec. 5.4). Mirrors the
+/// constraint profile of Ultimate Automizer on SV-COMP termination tasks:
+/// for each loop program it emits
+///
+///   1. a *nontermination* query — does the loop have a fixed point inside
+///      its guard? (nonlinear integer arithmetic for polynomial updates;
+///      mostly unsat, which is exactly the paper's "pessimistic" profile);
+///   2. a *ranking-function* query — existence of a linear ranking
+///      function, encoded existentially via Farkas' lemma
+///      (Podelski–Rybalchenko style; linear integer arithmetic).
+///
+/// The prover runs each query through a SolverBackend either plainly or
+/// through the STAUB portfolio, so the client-level speedup of Fig. 8 can
+/// be measured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_TERMINATION_TERMINATIONPROVER_H
+#define STAUB_TERMINATION_TERMINATIONPROVER_H
+
+#include "solver/Solver.h"
+#include "termination/Program.h"
+
+namespace staub {
+
+/// Verdict for one program.
+enum class TerminationVerdict {
+  Terminating,    ///< Linear ranking function found.
+  NonTerminating, ///< Guard-invariant fixed point found.
+  Unknown,
+};
+
+std::string_view toString(TerminationVerdict Verdict);
+
+/// Builds the nontermination query: exists x with guard(x) and
+/// update(x) == x (a fixed point never leaves the loop). Variables are
+/// prefixed with the program name to keep managers reusable.
+std::vector<Term> buildNonterminationQuery(TermManager &Manager,
+                                           const LoopProgram &Program);
+
+/// Builds the Farkas-lemma encoding of linear-ranking-function existence.
+/// Only defined for programs with linear updates.
+std::vector<Term> buildRankingQuery(TermManager &Manager,
+                                    const LoopProgram &Program);
+
+/// Timing breakdown of one analysis.
+struct TerminationAnalysis {
+  TerminationVerdict Verdict = TerminationVerdict::Unknown;
+  double NonterminationSeconds = 0.0;
+  double RankingSeconds = 0.0;
+  /// Whether STAUB's lane supplied the decisive answer for each query.
+  bool StaubWonNontermination = false;
+
+  double totalSeconds() const {
+    return NonterminationSeconds + RankingSeconds;
+  }
+};
+
+/// Analyzes \p Program with plain solving (UseStaub = false) or with the
+/// STAUB measured portfolio on the nonlinear query (UseStaub = true).
+TerminationAnalysis analyzeTermination(TermManager &Manager,
+                                       const LoopProgram &Program,
+                                       SolverBackend &Backend,
+                                       const SolverOptions &Options,
+                                       bool UseStaub);
+
+/// Generates the RQ3 benchmark set: \p Count seeded loop programs mixing
+/// terminating counters, nonterminating loops, and polynomial updates
+/// (the paper uses the 97 array-free SV-COMP termination tasks).
+std::vector<LoopProgram> generateTerminationSuite(unsigned Count,
+                                                  uint64_t Seed);
+
+} // namespace staub
+
+#endif // STAUB_TERMINATION_TERMINATIONPROVER_H

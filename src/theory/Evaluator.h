@@ -1,0 +1,68 @@
+//===- theory/Evaluator.h - Exact term evaluation ---------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact evaluation of terms under a variable assignment, implementing the
+/// SMT-LIB semantics of the core, Ints, Reals, FixedSizeBitVectors, and
+/// FloatingPoint theories. This is the ground-truth oracle behind STAUB's
+/// verification step (paper Sec. 4.4): a bounded model is accepted only if
+/// the *original* unbounded constraint evaluates to true under it.
+///
+/// Division by zero for Int and Real is underspecified by SMT-LIB; the
+/// evaluator returns "undefined" (std::nullopt) in that case, which makes
+/// verification conservatively fail rather than guess.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_THEORY_EVALUATOR_H
+#define STAUB_THEORY_EVALUATOR_H
+
+#include "smtlib/Term.h"
+#include "theory/Value.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace staub {
+
+/// A variable assignment: Term (Variable) -> Value.
+class Model {
+public:
+  /// Binds \p Var (must be a Variable term) to \p V.
+  void set(Term Var, Value V) {
+    Assignment.insert_or_assign(Var.id(), std::move(V));
+  }
+
+  /// Returns the binding for \p Var, if any.
+  const Value *get(Term Var) const {
+    auto It = Assignment.find(Var.id());
+    return It == Assignment.end() ? nullptr : &It->second;
+  }
+
+  size_t size() const { return Assignment.size(); }
+  bool empty() const { return Assignment.empty(); }
+
+  /// Iteration support (term id -> value).
+  auto begin() const { return Assignment.begin(); }
+  auto end() const { return Assignment.end(); }
+
+private:
+  std::unordered_map<uint32_t, Value> Assignment;
+};
+
+/// Evaluates \p T under \p M. Returns std::nullopt if a variable is
+/// unbound or an undefined operation (Int/Real division by zero) is
+/// reached. Evaluation is memoized over the DAG, so it runs in time linear
+/// in dagSize(T).
+std::optional<Value> evaluate(const TermManager &Manager, Term T,
+                              const Model &M);
+
+/// Convenience: evaluates a Bool term, returning false on undefined.
+bool evaluatesToTrue(const TermManager &Manager, Term T, const Model &M);
+
+} // namespace staub
+
+#endif // STAUB_THEORY_EVALUATOR_H

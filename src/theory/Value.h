@@ -1,0 +1,90 @@
+//===- theory/Value.h - Ground values ---------------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground values of the supported sorts, used by models and the exact
+/// evaluator. A Value carries its own representation: Bool, unbounded
+/// integer (BigInt), exact rational (Rational), two's-complement bitvector
+/// (BitVecValue), or IEEE-754 value (SoftFloat).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_THEORY_VALUE_H
+#define STAUB_THEORY_VALUE_H
+
+#include "smtlib/Sort.h"
+#include "support/BigInt.h"
+#include "support/BitVecValue.h"
+#include "support/Rational.h"
+#include "support/SoftFloat.h"
+
+#include <cassert>
+#include <string>
+#include <variant>
+
+namespace staub {
+
+/// A ground value of some SMT sort.
+class Value {
+public:
+  Value() : Storage(false) {}
+  Value(bool B) : Storage(B) {}
+  Value(BigInt I) : Storage(std::move(I)) {}
+  Value(Rational R) : Storage(std::move(R)) {}
+  Value(BitVecValue B) : Storage(std::move(B)) {}
+  Value(SoftFloat F) : Storage(std::move(F)) {}
+
+  bool isBool() const { return std::holds_alternative<bool>(Storage); }
+  bool isInt() const { return std::holds_alternative<BigInt>(Storage); }
+  bool isReal() const { return std::holds_alternative<Rational>(Storage); }
+  bool isBitVec() const {
+    return std::holds_alternative<BitVecValue>(Storage);
+  }
+  bool isFp() const { return std::holds_alternative<SoftFloat>(Storage); }
+
+  bool asBool() const { return std::get<bool>(Storage); }
+  const BigInt &asInt() const { return std::get<BigInt>(Storage); }
+  const Rational &asReal() const { return std::get<Rational>(Storage); }
+  const BitVecValue &asBitVec() const {
+    return std::get<BitVecValue>(Storage);
+  }
+  const SoftFloat &asFp() const { return std::get<SoftFloat>(Storage); }
+
+  /// SMT-LIB `=` semantics (bit identity for FP: NaN = NaN, +0 != -0).
+  bool smtEquals(const Value &RHS) const {
+    if (Storage.index() != RHS.Storage.index())
+      return false;
+    if (isBool())
+      return asBool() == RHS.asBool();
+    if (isInt())
+      return asInt() == RHS.asInt();
+    if (isReal())
+      return asReal() == RHS.asReal();
+    if (isBitVec())
+      return asBitVec() == RHS.asBitVec();
+    return asFp().smtEquals(RHS.asFp());
+  }
+
+  /// Diagnostic rendering.
+  std::string toString() const {
+    if (isBool())
+      return asBool() ? "true" : "false";
+    if (isInt())
+      return asInt().toString();
+    if (isReal())
+      return asReal().toString();
+    if (isBitVec())
+      return asBitVec().toSmtLib();
+    return asFp().toString();
+  }
+
+private:
+  std::variant<bool, BigInt, Rational, BitVecValue, SoftFloat> Storage;
+};
+
+} // namespace staub
+
+#endif // STAUB_THEORY_VALUE_H

@@ -1,0 +1,39 @@
+//===- z3adapter/Z3Solver.h - Z3 backend ------------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SolverBackend implementation over the Z3 C API (the paper embeds Z3 for
+/// solving and underapproximation checking, Sec. 5.1). Terms are converted
+/// both directions; no Z3 exceptions cross into our code (the C API
+/// reports errors through error codes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_Z3ADAPTER_Z3SOLVER_H
+#define STAUB_Z3ADAPTER_Z3SOLVER_H
+
+#include "solver/Solver.h"
+
+namespace staub {
+
+/// Creates the Z3-backed solver (in-process; a watchdog thread calls
+/// Z3_solver_interrupt at the deadline).
+std::unique_ptr<SolverBackend> createZ3Solver();
+
+/// Creates a process-isolated Z3 backend: each solve() forks, runs Z3 in
+/// the child, and SIGKILLs it if the deadline passes. This guarantees the
+/// timeout even on the uninterruptible bignum loops of this Z3 build's
+/// nonlinear-integer engine, at the cost of a fork per call. Use from
+/// single-threaded drivers (the benchmark harness); fork from a
+/// multi-threaded process is unsafe.
+std::unique_ptr<SolverBackend> createZ3ProcessSolver();
+
+/// Returns the linked Z3 version string (for reports).
+std::string z3VersionString();
+
+} // namespace staub
+
+#endif // STAUB_Z3ADAPTER_Z3SOLVER_H

@@ -1,0 +1,120 @@
+//===- tests/smtlib_term_test.cpp - TermManager unit tests ----------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+TEST(SortTest, Basics) {
+  EXPECT_TRUE(Sort::integer().isUnbounded());
+  EXPECT_TRUE(Sort::real().isUnbounded());
+  EXPECT_TRUE(Sort::boolean().isBounded());
+  EXPECT_TRUE(Sort::bitVec(12).isBounded());
+  EXPECT_TRUE(Sort::floatingPoint(FpFormat::float32()).isBounded());
+  EXPECT_EQ(Sort::bitVec(12).toString(), "(_ BitVec 12)");
+  EXPECT_EQ(Sort::floatingPoint({8, 24}).toString(), "(_ FloatingPoint 8 24)");
+  EXPECT_EQ(Sort::bitVec(12), Sort::bitVec(12));
+  EXPECT_NE(Sort::bitVec(12), Sort::bitVec(13));
+}
+
+TEST(TermManagerTest, HashConsingDeduplicates) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term A = M.mkAdd(std::vector<Term>{X, M.mkIntConst(BigInt(1))});
+  Term B = M.mkAdd(std::vector<Term>{X, M.mkIntConst(BigInt(1))});
+  EXPECT_EQ(A, B);
+  Term C = M.mkAdd(std::vector<Term>{X, M.mkIntConst(BigInt(2))});
+  EXPECT_NE(A, C);
+  EXPECT_EQ(M.mkVariable("x", Sort::integer()), X);
+}
+
+TEST(TermManagerTest, ConstantsRoundTrip) {
+  TermManager M;
+  Term I = M.mkIntConst(BigInt(-855));
+  EXPECT_EQ(M.kind(I), Kind::ConstInt);
+  EXPECT_EQ(M.intValue(I).toString(), "-855");
+  EXPECT_TRUE(M.sort(I).isInt());
+
+  Term R = M.mkRealConst(Rational(BigInt(3), BigInt(4)));
+  EXPECT_EQ(M.realValue(R).toString(), "3/4");
+
+  Term B = M.mkBitVecConst(BitVecValue(12, 855));
+  EXPECT_EQ(M.bitVecValue(B).toUnsigned().toString(), "855");
+  EXPECT_EQ(M.sort(B).bitVecWidth(), 12u);
+
+  Term F = M.mkFpConst(SoftFloat::fromRational(FpFormat::float32(),
+                                               Rational(BigInt(1), BigInt(2))));
+  EXPECT_TRUE(M.sort(F).isFloatingPoint());
+  EXPECT_EQ(M.fpValue(F).toRational().toString(), "1/2");
+
+  EXPECT_TRUE(M.boolValue(M.mkTrue()));
+  EXPECT_FALSE(M.boolValue(M.mkFalse()));
+}
+
+TEST(TermManagerTest, SortComputation) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term Y = M.mkVariable("y", Sort::integer());
+  EXPECT_TRUE(M.sort(M.mkEq(X, Y)).isBool());
+  EXPECT_TRUE(M.sort(M.mkCompare(Kind::Lt, X, Y)).isBool());
+  EXPECT_TRUE(M.sort(M.mkAdd(std::vector<Term>{X, Y})).isInt());
+  EXPECT_TRUE(M.sort(M.mkIte(M.mkEq(X, Y), X, Y)).isInt());
+
+  Term B1 = M.mkVariable("b1", Sort::bitVec(8));
+  Term B2 = M.mkVariable("b2", Sort::bitVec(4));
+  Term Cat = M.mkApp(Kind::BvConcat, std::vector<Term>{B1, B2});
+  EXPECT_EQ(M.sort(Cat).bitVecWidth(), 12u);
+  Term Ext = M.mkBvExtract(6, 3, B1);
+  EXPECT_EQ(M.sort(Ext).bitVecWidth(), 4u);
+  EXPECT_EQ(M.paramA(Ext), 6u);
+  EXPECT_EQ(M.paramB(Ext), 3u);
+  EXPECT_EQ(M.sort(M.mkBvSignExtend(4, B1)).bitVecWidth(), 12u);
+  Term Ovfl = M.mkApp(Kind::BvSMulO, std::vector<Term>{B1, B1});
+  EXPECT_TRUE(M.sort(Ovfl).isBool());
+}
+
+TEST(TermManagerTest, NAryNormalization) {
+  TermManager M;
+  Term X = M.mkVariable("p", Sort::boolean());
+  // Unary and/or collapse to the operand; empty collapse to units.
+  EXPECT_EQ(M.mkAnd(std::vector<Term>{X}), X);
+  EXPECT_EQ(M.mkAnd(std::vector<Term>{}), M.mkTrue());
+  EXPECT_EQ(M.mkOr(std::vector<Term>{}), M.mkFalse());
+  // Unary minus becomes Neg.
+  Term N = M.mkVariable("n", Sort::integer());
+  Term Minus = M.mkSub(std::vector<Term>{N});
+  EXPECT_EQ(M.kind(Minus), Kind::Neg);
+  // Chained equality becomes a conjunction.
+  Term A = M.mkVariable("a", Sort::integer());
+  Term Chained = M.mkApp(Kind::Eq, std::vector<Term>{N, A, N});
+  EXPECT_EQ(M.kind(Chained), Kind::And);
+}
+
+TEST(TermManagerTest, DagSizeCountsSharedOnce) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term Square = M.mkMul(std::vector<Term>{X, X});
+  Term Sum = M.mkAdd(std::vector<Term>{Square, Square});
+  // Nodes: x, x*x, (+ ..) => 3.
+  EXPECT_EQ(M.dagSize(Sum), 3u);
+}
+
+TEST(TermManagerTest, CollectVariables) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term Y = M.mkVariable("y", Sort::integer());
+  Term E = M.mkAdd(std::vector<Term>{X, Y, X});
+  auto Vars = M.collectVariables(E);
+  EXPECT_EQ(Vars.size(), 2u);
+  EXPECT_FALSE(M.lookupVariable("z").isValid());
+  EXPECT_EQ(M.lookupVariable("x"), X);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/solver_linarith_test.cpp - Simplex unit tests ----------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearArith.h"
+
+#include "smtlib/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+Rational rat(int64_t N, int64_t D = 1) { return Rational(BigInt(N), BigInt(D)); }
+
+//===--------------------------------------------------------------------===//
+// Linear extraction.
+//===--------------------------------------------------------------------===//
+
+TEST(LinearExtractTest, Basics) {
+  TermManager M;
+  auto R = parseSmtLib(M, "(declare-fun x () Int)(declare-fun y () Int)"
+                          "(assert (= (+ (* 3 x) (* 2 y) 7 (- x)) 0))");
+  ASSERT_TRUE(R.Ok);
+  Term Sum = M.child(R.Parsed.Assertions[0], 0);
+  auto E = extractLinear(M, Sum);
+  ASSERT_TRUE(E.has_value());
+  Term X = M.lookupVariable("x"), Y = M.lookupVariable("y");
+  EXPECT_EQ(E->Coefficients.at(X.id()), rat(2)); // 3x - x.
+  EXPECT_EQ(E->Coefficients.at(Y.id()), rat(2));
+  EXPECT_EQ(E->Constant, rat(7));
+}
+
+TEST(LinearExtractTest, RejectsNonlinear) {
+  TermManager M;
+  auto R = parseSmtLib(M, "(declare-fun x () Int)(declare-fun y () Int)"
+                          "(assert (= (* x y) 0))"
+                          "(assert (= (div x 2) 0))"
+                          "(assert (= (abs x) 0))");
+  ASSERT_TRUE(R.Ok);
+  for (Term A : R.Parsed.Assertions)
+    EXPECT_FALSE(extractLinear(M, M.child(A, 0)).has_value());
+}
+
+TEST(LinearExtractTest, ConstantDivisionIsLinear) {
+  TermManager M;
+  auto R = parseSmtLib(M, "(declare-fun r () Real)"
+                          "(assert (= (/ r 4.0) 0.0))");
+  ASSERT_TRUE(R.Ok);
+  auto E = extractLinear(M, M.child(R.Parsed.Assertions[0], 0));
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Coefficients.begin()->second, rat(1, 4));
+}
+
+TEST(LinearExtractTest, MulOfConstantsFolds) {
+  TermManager M;
+  auto R = parseSmtLib(M, "(declare-fun x () Int)"
+                          "(assert (= (* 2 3 x) 0))");
+  ASSERT_TRUE(R.Ok);
+  auto E = extractLinear(M, M.child(R.Parsed.Assertions[0], 0));
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Coefficients.begin()->second, rat(6));
+}
+
+//===--------------------------------------------------------------------===//
+// DeltaRational.
+//===--------------------------------------------------------------------===//
+
+TEST(DeltaRationalTest, Ordering) {
+  DeltaRational A(rat(1));              // 1.
+  DeltaRational B(rat(1), rat(1));      // 1 + delta.
+  DeltaRational C(rat(1), rat(-1));     // 1 - delta.
+  EXPECT_TRUE(C < A);
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(C < B);
+  EXPECT_TRUE(A <= A);
+  EXPECT_EQ((B - A).Delta, rat(1));
+  EXPECT_EQ(B.scaled(rat(2)).Delta, rat(2));
+}
+
+//===--------------------------------------------------------------------===//
+// Simplex feasibility.
+//===--------------------------------------------------------------------===//
+
+TEST(SimplexTest, FeasibleSystem) {
+  // x + y <= 10, x - y >= 4, y > 0.
+  Simplex S;
+  unsigned X = S.addVariable(), Y = S.addVariable();
+  EXPECT_TRUE(S.assertConstraint({{X, rat(1)}, {Y, rat(1)}}, rat(-10),
+                                 Simplex::Relation::Le));
+  EXPECT_TRUE(S.assertConstraint({{X, rat(1)}, {Y, rat(-1)}}, rat(-4),
+                                 Simplex::Relation::Ge));
+  EXPECT_TRUE(
+      S.assertConstraint({{Y, rat(1)}}, rat(0), Simplex::Relation::Gt));
+  ASSERT_TRUE(S.check());
+  // The model satisfies the constraints.
+  Rational XV = S.concreteValue(X), YV = S.concreteValue(Y);
+  EXPECT_LE(XV + YV, rat(10));
+  EXPECT_GE(XV - YV, rat(4));
+  EXPECT_GT(YV, rat(0));
+}
+
+TEST(SimplexTest, InfeasibleSystem) {
+  Simplex S;
+  unsigned X = S.addVariable();
+  EXPECT_TRUE(
+      S.assertConstraint({{X, rat(1)}}, rat(-5), Simplex::Relation::Gt));
+  // x > 5 and x < 3: conflict may surface at assert or check time.
+  bool Asserted =
+      S.assertConstraint({{X, rat(1)}}, rat(-3), Simplex::Relation::Lt);
+  EXPECT_FALSE(Asserted && S.check());
+}
+
+TEST(SimplexTest, StrictGapFeasibleOverRationals) {
+  // 4 < x < 5 has rational solutions; delta-rationals must find one.
+  Simplex S;
+  unsigned X = S.addVariable();
+  ASSERT_TRUE(
+      S.assertConstraint({{X, rat(1)}}, rat(-4), Simplex::Relation::Gt));
+  ASSERT_TRUE(
+      S.assertConstraint({{X, rat(1)}}, rat(-5), Simplex::Relation::Lt));
+  ASSERT_TRUE(S.check());
+  Rational V = S.concreteValue(X);
+  EXPECT_GT(V, rat(4));
+  EXPECT_LT(V, rat(5));
+}
+
+TEST(SimplexTest, StrictContradiction) {
+  // x < 1 and x > 1.
+  Simplex S;
+  unsigned X = S.addVariable();
+  bool Ok =
+      S.assertConstraint({{X, rat(1)}}, rat(-1), Simplex::Relation::Lt) &&
+      S.assertConstraint({{X, rat(1)}}, rat(-1), Simplex::Relation::Gt);
+  EXPECT_FALSE(Ok && S.check());
+}
+
+TEST(SimplexTest, EqualityChains) {
+  // x + y = 3/2, x - y = 1/4 -> x = 7/8, y = 5/8.
+  Simplex S;
+  unsigned X = S.addVariable(), Y = S.addVariable();
+  ASSERT_TRUE(S.assertConstraint({{X, rat(1)}, {Y, rat(1)}}, rat(-3, 2),
+                                 Simplex::Relation::Eq));
+  ASSERT_TRUE(S.assertConstraint({{X, rat(1)}, {Y, rat(-1)}}, rat(-1, 4),
+                                 Simplex::Relation::Eq));
+  ASSERT_TRUE(S.check());
+  EXPECT_EQ(S.concreteValue(X), rat(7, 8));
+  EXPECT_EQ(S.concreteValue(Y), rat(5, 8));
+}
+
+TEST(SimplexTest, CyclicOrderingInfeasible) {
+  // a < b, b < c, c < a.
+  Simplex S;
+  unsigned A = S.addVariable(), B = S.addVariable(), C = S.addVariable();
+  bool Ok =
+      S.assertConstraint({{A, rat(1)}, {B, rat(-1)}}, rat(0),
+                         Simplex::Relation::Lt) &&
+      S.assertConstraint({{B, rat(1)}, {C, rat(-1)}}, rat(0),
+                         Simplex::Relation::Lt) &&
+      S.assertConstraint({{C, rat(1)}, {A, rat(-1)}}, rat(0),
+                         Simplex::Relation::Lt);
+  EXPECT_FALSE(Ok && S.check());
+}
+
+TEST(SimplexTest, ConstantConstraints) {
+  Simplex S;
+  EXPECT_TRUE(S.assertConstraint({}, rat(-1), Simplex::Relation::Le)); // -1<=0
+  EXPECT_FALSE(S.assertConstraint({}, rat(1), Simplex::Relation::Le)); // 1<=0
+}
+
+TEST(SimplexTest, LargerRandomFeasible) {
+  // A chain x1 <= x2 <= ... <= x8 with bounds; feasible.
+  Simplex S;
+  std::vector<unsigned> Vars;
+  for (int I = 0; I < 8; ++I)
+    Vars.push_back(S.addVariable());
+  for (int I = 0; I + 1 < 8; ++I)
+    ASSERT_TRUE(S.assertConstraint(
+        {{Vars[I], rat(1)}, {Vars[I + 1], rat(-1)}}, rat(0),
+        Simplex::Relation::Le));
+  ASSERT_TRUE(S.assertConstraint({{Vars[0], rat(1)}}, rat(-2),
+                                 Simplex::Relation::Ge));
+  ASSERT_TRUE(S.assertConstraint({{Vars[7], rat(1)}}, rat(-100),
+                                 Simplex::Relation::Le));
+  ASSERT_TRUE(S.check());
+  for (int I = 0; I + 1 < 8; ++I)
+    EXPECT_LE(S.concreteValue(Vars[I]), S.concreteValue(Vars[I + 1]));
+}
+
+} // namespace

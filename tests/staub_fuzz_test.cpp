@@ -1,0 +1,145 @@
+//===- tests/staub_fuzz_test.cpp - Pipeline soundness fuzzing -------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized soundness checks over the full STAUB pipeline: for seeded
+/// random integer constraints, every VerifiedSat outcome must carry a
+/// model that the exact evaluator accepts on the original constraint, and
+/// outcomes must be consistent with Z3's verdict on the original
+/// (VerifiedSat implies the original is genuinely satisfiable). The
+/// underapproximation may miss models (BoundedUnsat on a sat constraint
+/// is legal) but must never invent one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Printer.h"
+#include "staub/Staub.h"
+#include "support/Random.h"
+#include "z3adapter/Z3Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+/// Builds a random integer constraint with moderate constants.
+std::vector<Term> randomIntConstraint(TermManager &M, SplitMix64 &Rng,
+                                      const std::string &Prefix) {
+  std::vector<Term> Pool = {
+      M.mkVariable(Prefix + "_x", Sort::integer()),
+      M.mkVariable(Prefix + "_y", Sort::integer()),
+      M.mkIntConst(BigInt(Rng.range(-30, 30))),
+      M.mkIntConst(BigInt(Rng.range(0, 100)))};
+  for (int I = 0; I < 5; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    switch (Rng.below(4)) {
+    case 0:
+      Pool.push_back(M.mkAdd(std::vector<Term>{A, B}));
+      break;
+    case 1:
+      Pool.push_back(M.mkSub(std::vector<Term>{A, B}));
+      break;
+    case 2:
+      Pool.push_back(M.mkMul(std::vector<Term>{A, B}));
+      break;
+    default:
+      Pool.push_back(M.mkNeg(A));
+      break;
+    }
+  }
+  std::vector<Term> Assertions;
+  unsigned NumAtoms = 1 + Rng.below(3);
+  for (unsigned I = 0; I < NumAtoms; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    Kind Cmps[] = {Kind::Le, Kind::Lt, Kind::Ge, Kind::Gt};
+    if (Rng.chance(1, 4))
+      Assertions.push_back(M.mkEq(A, B));
+    else
+      Assertions.push_back(
+          M.mkCompare(Cmps[Rng.below(4)], A, B));
+  }
+  return Assertions;
+}
+
+class StaubFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaubFuzzTest, NeverInventsModels) {
+  SplitMix64 Rng(GetParam() * 2654435761u + 17);
+  TermManager M;
+  auto Assertions =
+      randomIntConstraint(M, Rng, "fz" + std::to_string(GetParam()));
+
+  auto Mini = createMiniSmtSolver();
+  StaubOptions Options;
+  Options.Solve.TimeoutSeconds = 5.0;
+  StaubOutcome Outcome = runStaub(M, Assertions, *Mini, Options);
+
+  if (Outcome.Path == StaubPath::VerifiedSat) {
+    // Internal invariant.
+    ASSERT_TRUE(
+        evaluatesToTrue(M, M.mkAnd(Assertions), Outcome.VerifiedModel))
+        << printTerm(M, M.mkAnd(Assertions));
+    // External consistency: Z3 must not call the original unsat.
+    auto Z3 = createZ3Solver();
+    SolverOptions Solve;
+    Solve.TimeoutSeconds = 10.0;
+    SolveResult R = Z3->solve(M, Assertions, Solve);
+    EXPECT_NE(R.Status, SolveStatus::Unsat)
+        << "seed " << GetParam() << "\n"
+        << printTerm(M, M.mkAnd(Assertions));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaubFuzzTest,
+                         ::testing::Range(uint64_t(1), uint64_t(61)));
+
+class StaubRealFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaubRealFuzzTest, RealPipelineNeverInventsModels) {
+  SplitMix64 Rng(GetParam() * 40503 + 29);
+  TermManager M;
+  std::string Prefix = "fr" + std::to_string(GetParam());
+  Term X = M.mkVariable(Prefix + "_r", Sort::real());
+  std::vector<Term> Pool = {
+      X, M.mkRealConst(Rational(BigInt(Rng.range(-16, 16)), BigInt(4))),
+      M.mkRealConst(Rational(Rng.range(0, 20)))};
+  for (int I = 0; I < 4; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    switch (Rng.below(3)) {
+    case 0:
+      Pool.push_back(M.mkAdd(std::vector<Term>{A, B}));
+      break;
+    case 1:
+      Pool.push_back(M.mkMul(std::vector<Term>{A, B}));
+      break;
+    default:
+      Pool.push_back(M.mkSub(std::vector<Term>{A, B}));
+      break;
+    }
+  }
+  std::vector<Term> Assertions = {
+      M.mkCompare(Rng.chance(1, 2) ? Kind::Le : Kind::Ge,
+                  Pool[Rng.below(Pool.size())],
+                  Pool[Rng.below(Pool.size())])};
+
+  auto Mini = createMiniSmtSolver();
+  StaubOptions Options;
+  Options.Solve.TimeoutSeconds = 5.0;
+  StaubOutcome Outcome = runStaub(M, Assertions, *Mini, Options);
+  if (Outcome.Path == StaubPath::VerifiedSat)
+    ASSERT_TRUE(
+        evaluatesToTrue(M, M.mkAnd(Assertions), Outcome.VerifiedModel))
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaubRealFuzzTest,
+                         ::testing::Range(uint64_t(1), uint64_t(41)));
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/support_bigint_test.cpp - BigInt unit tests ------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.sign(), 0);
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_EQ(Zero.bitWidth(), 0u);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t Value : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                        int64_t(-855), INT64_MAX, INT64_MIN}) {
+    BigInt Big(Value);
+    ASSERT_TRUE(Big.toInt64().has_value()) << Value;
+    EXPECT_EQ(*Big.toInt64(), Value);
+  }
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char *Text :
+       {"0", "1", "-1", "855", "123456789012345678901234567890",
+        "-987654321098765432109876543210"}) {
+    auto Parsed = BigInt::fromString(Text);
+    ASSERT_TRUE(Parsed.has_value()) << Text;
+    EXPECT_EQ(Parsed->toString(), Text);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsMalformed) {
+  EXPECT_FALSE(BigInt::fromString("").has_value());
+  EXPECT_FALSE(BigInt::fromString("-").has_value());
+  EXPECT_FALSE(BigInt::fromString("12a").has_value());
+  EXPECT_FALSE(BigInt::fromString("+5").has_value());
+}
+
+TEST(BigIntTest, AdditionSigns) {
+  EXPECT_EQ((BigInt(5) + BigInt(7)).toString(), "12");
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).toString(), "-2");
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).toString(), "2");
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).toString(), "-12");
+  EXPECT_TRUE((BigInt(5) + BigInt(-5)).isZero());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt AlmostCarry(int64_t(0xFFFFFFFF));
+  EXPECT_EQ((AlmostCarry + BigInt(1)).toString(), "4294967296");
+  BigInt Large = BigInt::pow2(96) - BigInt(1);
+  EXPECT_EQ((Large + BigInt(1)), BigInt::pow2(96));
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  auto A = *BigInt::fromString("123456789123456789");
+  auto B = *BigInt::fromString("987654321987654321");
+  EXPECT_EQ((A * B).toString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((A * BigInt(0)).toString(), "0");
+  EXPECT_EQ((A * BigInt(-1)).toString(), "-123456789123456789");
+}
+
+TEST(BigIntTest, DivTruncSemantics) {
+  EXPECT_EQ(BigInt(7).divTrunc(BigInt(2)).toString(), "3");
+  EXPECT_EQ(BigInt(-7).divTrunc(BigInt(2)).toString(), "-3");
+  EXPECT_EQ(BigInt(7).divTrunc(BigInt(-2)).toString(), "-3");
+  EXPECT_EQ(BigInt(-7).divTrunc(BigInt(-2)).toString(), "3");
+  EXPECT_EQ(BigInt(7).remTrunc(BigInt(2)).toString(), "1");
+  EXPECT_EQ(BigInt(-7).remTrunc(BigInt(2)).toString(), "-1");
+  EXPECT_EQ(BigInt(7).remTrunc(BigInt(-2)).toString(), "1");
+}
+
+TEST(BigIntTest, EuclideanDivisionSemantics) {
+  // SMT-LIB div/mod: remainder is always non-negative.
+  EXPECT_EQ(BigInt(7).divEuclid(BigInt(2)).toString(), "3");
+  EXPECT_EQ(BigInt(-7).divEuclid(BigInt(2)).toString(), "-4");
+  EXPECT_EQ(BigInt(7).divEuclid(BigInt(-2)).toString(), "-3");
+  EXPECT_EQ(BigInt(-7).divEuclid(BigInt(-2)).toString(), "4");
+  EXPECT_EQ(BigInt(-7).modEuclid(BigInt(2)).toString(), "1");
+  EXPECT_EQ(BigInt(-7).modEuclid(BigInt(-2)).toString(), "1");
+  EXPECT_EQ(BigInt(7).modEuclid(BigInt(-2)).toString(), "1");
+}
+
+TEST(BigIntTest, DivModIdentityProperty) {
+  // a == (a div b)*b + (a mod b) for both conventions.
+  for (int64_t A = -50; A <= 50; ++A) {
+    for (int64_t B : {int64_t(-7), int64_t(-2), int64_t(1), int64_t(3),
+                      int64_t(13)}) {
+      BigInt BigA(A), BigB(B);
+      EXPECT_EQ(BigA.divTrunc(BigB) * BigB + BigA.remTrunc(BigB), BigA);
+      EXPECT_EQ(BigA.divEuclid(BigB) * BigB + BigA.modEuclid(BigB), BigA);
+      BigInt Mod = BigA.modEuclid(BigB);
+      EXPECT_FALSE(Mod.isNegative());
+      EXPECT_TRUE(Mod < BigB.abs());
+    }
+  }
+}
+
+TEST(BigIntTest, LargeDivision) {
+  auto A = *BigInt::fromString("121932631356500531347203169112635269");
+  auto B = *BigInt::fromString("987654321987654321");
+  EXPECT_EQ(A.divTrunc(B).toString(), "123456789123456789");
+  EXPECT_TRUE(A.remTrunc(B).isZero());
+  auto C = A + BigInt(12345);
+  EXPECT_EQ(C.divTrunc(B).toString(), "123456789123456789");
+  EXPECT_EQ(C.remTrunc(B).toString(), "12345");
+}
+
+TEST(BigIntTest, BitWidth) {
+  EXPECT_EQ(BigInt(1).bitWidth(), 1u);
+  EXPECT_EQ(BigInt(2).bitWidth(), 2u);
+  EXPECT_EQ(BigInt(255).bitWidth(), 8u);
+  EXPECT_EQ(BigInt(256).bitWidth(), 9u);
+  EXPECT_EQ(BigInt(-256).bitWidth(), 9u);
+  EXPECT_EQ(BigInt::pow2(100).bitWidth(), 101u);
+}
+
+TEST(BigIntTest, MinSignedWidth) {
+  EXPECT_EQ(BigInt(0).minSignedWidth(), 1u);
+  EXPECT_EQ(BigInt(1).minSignedWidth(), 2u);
+  EXPECT_EQ(BigInt(-1).minSignedWidth(), 1u);
+  EXPECT_EQ(BigInt(127).minSignedWidth(), 8u);
+  EXPECT_EQ(BigInt(128).minSignedWidth(), 9u);
+  EXPECT_EQ(BigInt(-128).minSignedWidth(), 8u);
+  EXPECT_EQ(BigInt(-129).minSignedWidth(), 9u);
+  EXPECT_EQ(BigInt(855).minSignedWidth(), 11u);
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ(BigInt(1).shl(12).toString(), "4096");
+  EXPECT_EQ(BigInt(-3).shl(4).toString(), "-48");
+  EXPECT_EQ(BigInt(4096).ashr(12).toString(), "1");
+  EXPECT_EQ(BigInt(4097).ashr(12).toString(), "1");
+  // Arithmetic shift of negatives floors toward -inf.
+  EXPECT_EQ(BigInt(-1).ashr(1).toString(), "-1");
+  EXPECT_EQ(BigInt(-4097).ashr(12).toString(), "-2");
+  EXPECT_EQ(BigInt(-4096).ashr(12).toString(), "-1");
+  BigInt Wide = BigInt::pow2(130);
+  EXPECT_EQ(Wide.ashr(130).toString(), "1");
+  EXPECT_EQ(Wide.ashr(131).toString(), "0");
+}
+
+TEST(BigIntTest, Pow) {
+  EXPECT_EQ(BigInt(7).pow(0).toString(), "1");
+  EXPECT_EQ(BigInt(7).pow(3).toString(), "343");
+  EXPECT_EQ(BigInt(-2).pow(5).toString(), "-32");
+  EXPECT_EQ(BigInt(10).pow(20).toString(), "100000000000000000000");
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toString(), "5");
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).toString(), "1");
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt::pow2(64), BigInt(INT64_MAX));
+  EXPECT_FALSE(BigInt(3) < BigInt(3));
+}
+
+TEST(BigIntTest, TestBit) {
+  BigInt Value(0b101101);
+  EXPECT_TRUE(Value.testBit(0));
+  EXPECT_FALSE(Value.testBit(1));
+  EXPECT_TRUE(Value.testBit(2));
+  EXPECT_TRUE(Value.testBit(3));
+  EXPECT_FALSE(Value.testBit(4));
+  EXPECT_TRUE(Value.testBit(5));
+  EXPECT_FALSE(Value.testBit(100));
+}
+
+TEST(BigIntTest, SumOfCubesMotivatingExample) {
+  // The paper's Fig. 1: 7^3 + 8^3 + 0^3 == 855.
+  BigInt X(7), Y(8), Z(0);
+  EXPECT_EQ(X.pow(3) + Y.pow(3) + Z.pow(3), BigInt(855));
+}
+
+// Property-style sweep: string round trip via arithmetic reconstruction.
+class BigIntPropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BigIntPropertyTest, NegationInvolution) {
+  BigInt Value(GetParam());
+  EXPECT_EQ(Value.negated().negated(), Value);
+  EXPECT_EQ(Value + Value.negated(), BigInt(0));
+}
+
+TEST_P(BigIntPropertyTest, MulDivRoundTrip) {
+  BigInt Value(GetParam());
+  BigInt Scaled = Value * BigInt(1000003);
+  EXPECT_EQ(Scaled.divTrunc(BigInt(1000003)), Value);
+  EXPECT_TRUE(Scaled.remTrunc(BigInt(1000003)).isZero());
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTrip) {
+  BigInt Value(GetParam());
+  auto Parsed = BigInt::fromString(Value.toString());
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(*Parsed, Value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BigIntPropertyTest,
+                         ::testing::Values(0, 1, -1, 2, -2, 17, -943,
+                                           1234567, -87654321, INT32_MAX,
+                                           INT64_MAX / 3, INT64_MIN / 5));
+
+} // namespace

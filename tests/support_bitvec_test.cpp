@@ -1,0 +1,156 @@
+//===- tests/support_bitvec_test.cpp - BitVecValue unit tests -------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVecValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+TEST(BitVecTest, ConstructionReducesModulo) {
+  BitVecValue Wrapped(8, BigInt(256));
+  EXPECT_TRUE(Wrapped.isZero());
+  BitVecValue Neg(8, BigInt(-1));
+  EXPECT_EQ(Neg.toUnsigned().toString(), "255");
+  EXPECT_EQ(Neg.toSigned().toString(), "-1");
+}
+
+TEST(BitVecTest, SignedInterpretation) {
+  EXPECT_EQ(BitVecValue(8, 127).toSigned().toString(), "127");
+  EXPECT_EQ(BitVecValue(8, 128).toSigned().toString(), "-128");
+  EXPECT_EQ(BitVecValue(8, 255).toSigned().toString(), "-1");
+  EXPECT_EQ(BitVecValue(12, 855).toSigned().toString(), "855");
+}
+
+TEST(BitVecTest, AddSubMulWrap) {
+  BitVecValue A(8, 200), B(8, 100);
+  EXPECT_EQ(A.add(B).toUnsigned().toString(), "44");
+  EXPECT_EQ(B.sub(A).toSigned().toString(), "-100");
+  EXPECT_EQ(A.mul(B).toUnsigned().toString(), "32");
+  EXPECT_EQ(A.neg().toUnsigned().toString(), "56");
+}
+
+TEST(BitVecTest, DivisionSemantics) {
+  // SMT-LIB: udiv by zero = all ones; urem by zero = dividend.
+  BitVecValue X(8, 42), Zero(8, 0);
+  EXPECT_EQ(X.udiv(Zero).toUnsigned().toString(), "255");
+  EXPECT_EQ(X.urem(Zero).toUnsigned().toString(), "42");
+  EXPECT_EQ(BitVecValue(8, 7).udiv(BitVecValue(8, 2)).toUnsigned().toString(),
+            "3");
+  // Signed division truncates toward zero.
+  BitVecValue MinusSeven(8, -7), Two(8, 2);
+  EXPECT_EQ(MinusSeven.sdiv(Two).toSigned().toString(), "-3");
+  EXPECT_EQ(MinusSeven.srem(Two).toSigned().toString(), "-1");
+  // bvsdiv x 0: all-ones when x >= 0, one when x < 0.
+  EXPECT_EQ(X.sdiv(Zero).toUnsigned().toString(), "255");
+  EXPECT_EQ(MinusSeven.sdiv(Zero).toUnsigned().toString(), "1");
+}
+
+TEST(BitVecTest, BitwiseOps) {
+  BitVecValue A(4, 0b1100), B(4, 0b1010);
+  EXPECT_EQ(A.bvand(B).toUnsigned().toString(), "8");
+  EXPECT_EQ(A.bvor(B).toUnsigned().toString(), "14");
+  EXPECT_EQ(A.bvxor(B).toUnsigned().toString(), "6");
+  EXPECT_EQ(A.bvnot().toUnsigned().toString(), "3");
+}
+
+TEST(BitVecTest, Shifts) {
+  BitVecValue V(8, 0b10010110);
+  EXPECT_EQ(V.shl(BitVecValue(8, 2)).toBinaryString(), "#b01011000");
+  EXPECT_EQ(V.lshr(BitVecValue(8, 2)).toBinaryString(), "#b00100101");
+  EXPECT_EQ(V.ashr(BitVecValue(8, 2)).toBinaryString(), "#b11100101");
+  // Shift by >= width.
+  EXPECT_TRUE(V.shl(BitVecValue(8, 9)).isZero());
+  EXPECT_TRUE(V.lshr(BitVecValue(8, 8)).isZero());
+  EXPECT_EQ(V.ashr(BitVecValue(8, 200)).toBinaryString(), "#b11111111");
+  BitVecValue Pos(8, 0b00010110);
+  EXPECT_TRUE(Pos.ashr(BitVecValue(8, 8)).isZero());
+}
+
+TEST(BitVecTest, Comparisons) {
+  BitVecValue A(8, 200), B(8, 100);
+  EXPECT_TRUE(B.ult(A));
+  EXPECT_TRUE(B.ule(A));
+  EXPECT_FALSE(A.ult(B));
+  // Signed: 200 is -56, so A <s B.
+  EXPECT_TRUE(A.slt(B));
+  EXPECT_TRUE(A.sle(B));
+  EXPECT_FALSE(B.slt(A));
+  EXPECT_TRUE(A.sle(A));
+  EXPECT_TRUE(A.ule(A));
+}
+
+TEST(BitVecTest, OverflowPredicates) {
+  // 7*7*7 = 343 does not fit signed 8-bit beyond the second multiply.
+  BitVecValue Seven(8, 7);
+  BitVecValue FortyNine = Seven.mul(Seven);
+  EXPECT_FALSE(Seven.smulOverflow(Seven));
+  EXPECT_TRUE(FortyNine.smulOverflow(Seven)); // 343 > 127.
+  BitVecValue Max(8, 127), One(8, 1);
+  EXPECT_TRUE(Max.saddOverflow(One));
+  EXPECT_FALSE(Max.saddOverflow(BitVecValue(8, -1)));
+  BitVecValue Min(8, -128);
+  EXPECT_TRUE(Min.ssubOverflow(One));
+  EXPECT_FALSE(Max.ssubOverflow(One));
+  EXPECT_TRUE(Min.sdivOverflow(BitVecValue(8, -1)));
+  EXPECT_FALSE(Min.sdivOverflow(BitVecValue(8, 2)));
+  EXPECT_TRUE(Min.smulOverflow(BitVecValue(8, -1)));
+}
+
+TEST(BitVecTest, WideningNarrowing) {
+  BitVecValue V(8, -3);
+  EXPECT_EQ(V.sext(16).toSigned().toString(), "-3");
+  EXPECT_EQ(V.zext(16).toUnsigned().toString(), "253");
+  EXPECT_EQ(V.extract(7, 4).toBinaryString(), "#b1111");
+  EXPECT_EQ(V.extract(3, 0).toBinaryString(), "#b1101");
+  BitVecValue High(4, 0b1010), Low(4, 0b0101);
+  EXPECT_EQ(High.concat(Low).toBinaryString(), "#b10100101");
+}
+
+TEST(BitVecTest, SmtLibRendering) {
+  EXPECT_EQ(BitVecValue(12, 855).toSmtLib(), "(_ bv855 12)");
+  EXPECT_EQ(BitVecValue(4, 5).toBinaryString(), "#b0101");
+}
+
+TEST(BitVecTest, WideWidths) {
+  BitVecValue Wide(100, BigInt::pow2(99));
+  EXPECT_TRUE(Wide.signBit());
+  EXPECT_EQ(Wide.toSigned(), BigInt::pow2(99).negated());
+  EXPECT_EQ(Wide.add(Wide).toUnsigned().toString(), "0");
+}
+
+// Property sweep: bitvector ops agree with modular arithmetic on BigInt.
+class BitVecModularTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int64_t, int64_t>> {
+};
+
+TEST_P(BitVecModularTest, OpsMatchModularArithmetic) {
+  auto [Width, A, B] = GetParam();
+  BitVecValue VA(Width, A), VB(Width, B);
+  BigInt Mod = BigInt::pow2(Width);
+  EXPECT_EQ(VA.add(VB).toUnsigned(), (BigInt(A) + BigInt(B)).modEuclid(Mod));
+  EXPECT_EQ(VA.sub(VB).toUnsigned(), (BigInt(A) - BigInt(B)).modEuclid(Mod));
+  EXPECT_EQ(VA.mul(VB).toUnsigned(), (BigInt(A) * BigInt(B)).modEuclid(Mod));
+  EXPECT_EQ(VA.neg().toUnsigned(), BigInt(-A).modEuclid(Mod));
+  // Signed comparisons match BigInt comparisons of the interpretations.
+  EXPECT_EQ(VA.slt(VB), VA.toSigned() < VB.toSigned());
+  EXPECT_EQ(VA.ult(VB), VA.toUnsigned() < VB.toUnsigned());
+  // Round trip through sext preserves the signed value.
+  EXPECT_EQ(VA.sext(Width + 7).toSigned(), VA.toSigned());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitVecModularTest,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u, 12u, 16u, 33u),
+                       ::testing::Values(int64_t(0), int64_t(1), int64_t(-1),
+                                         int64_t(7), int64_t(-100),
+                                         int64_t(855)),
+                       ::testing::Values(int64_t(0), int64_t(3), int64_t(-8),
+                                         int64_t(127), int64_t(-128))));
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- tests/support_softfloat_test.cpp - SoftFloat unit tests ------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SoftFloat.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+Rational rat(int64_t Num, int64_t Den = 1) {
+  return Rational(BigInt(Num), BigInt(Den));
+}
+
+TEST(SoftFloatTest, ExactSmallValuesRoundTrip) {
+  FpFormat F32 = FpFormat::float32();
+  for (int64_t Value : {int64_t(0), int64_t(1), int64_t(-1), int64_t(855),
+                        int64_t(-4096), int64_t(16777215)}) {
+    SoftFloat F = SoftFloat::fromRational(F32, rat(Value));
+    ASSERT_TRUE(F.isFinite());
+    EXPECT_EQ(F.toRational(), rat(Value)) << Value;
+  }
+}
+
+TEST(SoftFloatTest, RoundingToNearestEven) {
+  // Format with 4 significand bits: representable integers step by 2
+  // above 16. 17 is exactly between 16 and 18 -> ties to even -> 16.
+  FpFormat Tiny{5, 4};
+  SoftFloat Seventeen = SoftFloat::fromRational(Tiny, rat(17));
+  EXPECT_EQ(Seventeen.toRational(), rat(16));
+  SoftFloat Nineteen = SoftFloat::fromRational(Tiny, rat(19));
+  EXPECT_EQ(Nineteen.toRational(), rat(20));
+  // 16777217 = 2^24 + 1 is not representable in float32 (sb = 24).
+  FpFormat F32 = FpFormat::float32();
+  SoftFloat Big = SoftFloat::fromRational(F32, rat(16777217));
+  EXPECT_EQ(Big.toRational(), rat(16777216));
+}
+
+TEST(SoftFloatTest, NonTerminatingFractionsRound) {
+  FpFormat F32 = FpFormat::float32();
+  SoftFloat Tenth = SoftFloat::fromRational(F32, rat(1, 10));
+  ASSERT_TRUE(Tenth.isFinite());
+  // Float32 nearest to 0.1 is 13421773 * 2^-27.
+  EXPECT_EQ(Tenth.toRational(), Rational(BigInt(13421773), BigInt::pow2(27)));
+  EXPECT_NE(Tenth.toRational(), rat(1, 10)); // A semantic difference source.
+}
+
+TEST(SoftFloatTest, OverflowProducesInfinity) {
+  FpFormat F16 = FpFormat::float16();
+  SoftFloat Huge = SoftFloat::fromRational(F16, rat(70000));
+  EXPECT_TRUE(Huge.isInfinity());
+  EXPECT_FALSE(Huge.isNegative());
+  SoftFloat NegHuge = SoftFloat::fromRational(F16, rat(-70000));
+  EXPECT_TRUE(NegHuge.isInfinity());
+  EXPECT_TRUE(NegHuge.isNegative());
+  // Max finite float16 is 65504.
+  EXPECT_EQ(SoftFloat::maxFinite(F16), rat(65504));
+  SoftFloat MaxF = SoftFloat::fromRational(F16, rat(65504));
+  EXPECT_TRUE(MaxF.isFinite());
+  EXPECT_EQ(MaxF.toRational(), rat(65504));
+}
+
+TEST(SoftFloatTest, SubnormalsAndUnderflow) {
+  FpFormat F16 = FpFormat::float16();
+  // Smallest positive subnormal of float16 is 2^-24.
+  Rational MinSub(BigInt(1), BigInt::pow2(24));
+  SoftFloat Sub = SoftFloat::fromRational(F16, MinSub);
+  ASSERT_TRUE(Sub.isFinite());
+  EXPECT_EQ(Sub.toRational(), MinSub);
+  // Half of it rounds to zero (ties to even: 0 is even).
+  SoftFloat Under = SoftFloat::fromRational(F16, MinSub * rat(1, 2));
+  EXPECT_TRUE(Under.isZero());
+}
+
+TEST(SoftFloatTest, AdditionSpecialCases) {
+  FpFormat F32 = FpFormat::float32();
+  SoftFloat One = SoftFloat::fromRational(F32, rat(1));
+  SoftFloat NegOne = SoftFloat::fromRational(F32, rat(-1));
+  SoftFloat Inf = SoftFloat::infinity(F32, false);
+  SoftFloat NegInf = SoftFloat::infinity(F32, true);
+  SoftFloat NaN = SoftFloat::nan(F32);
+
+  EXPECT_TRUE(One.add(NegOne).isZero());
+  EXPECT_FALSE(One.add(NegOne).isNegative()); // RNE: exact zero sums are +0.
+  EXPECT_TRUE(Inf.add(NegInf).isNaN());
+  EXPECT_TRUE(Inf.add(One).isInfinity());
+  EXPECT_TRUE(NaN.add(One).isNaN());
+  SoftFloat NegZero = SoftFloat::zero(F32, true);
+  SoftFloat PosZero = SoftFloat::zero(F32, false);
+  EXPECT_TRUE(NegZero.add(NegZero).isNegative());
+  EXPECT_FALSE(NegZero.add(PosZero).isNegative());
+}
+
+TEST(SoftFloatTest, MultiplicationAndDivisionSpecialCases) {
+  FpFormat F32 = FpFormat::float32();
+  SoftFloat Two = SoftFloat::fromRational(F32, rat(2));
+  SoftFloat Zero = SoftFloat::zero(F32, false);
+  SoftFloat Inf = SoftFloat::infinity(F32, false);
+
+  EXPECT_TRUE(Zero.mul(Inf).isNaN());
+  EXPECT_TRUE(Inf.mul(Two.neg()).isInfinity());
+  EXPECT_TRUE(Inf.mul(Two.neg()).isNegative());
+  EXPECT_TRUE(Two.div(Zero).isInfinity());
+  EXPECT_TRUE(Two.neg().div(Zero).isNegative());
+  EXPECT_TRUE(Zero.div(Zero).isNaN());
+  EXPECT_TRUE(Inf.div(Inf).isNaN());
+  EXPECT_TRUE(Two.div(Inf).isZero());
+  EXPECT_EQ(Two.mul(Two).toRational(), rat(4));
+  EXPECT_EQ(Two.div(Two.neg()).toRational(), rat(-1));
+}
+
+TEST(SoftFloatTest, RoundedArithmeticMatchesExactRounding) {
+  FpFormat F32 = FpFormat::float32();
+  // (1/10 + 2/10) in float32 differs from 3/10 rounded? Verify our add is
+  // round(exact(round(a) + round(b))).
+  SoftFloat A = SoftFloat::fromRational(F32, rat(1, 10));
+  SoftFloat B = SoftFloat::fromRational(F32, rat(2, 10));
+  SoftFloat Sum = A.add(B);
+  SoftFloat Expected =
+      SoftFloat::fromRational(F32, A.toRational() + B.toRational());
+  EXPECT_TRUE(Sum.smtEquals(Expected));
+}
+
+TEST(SoftFloatTest, Comparisons) {
+  FpFormat F32 = FpFormat::float32();
+  SoftFloat One = SoftFloat::fromRational(F32, rat(1));
+  SoftFloat Two = SoftFloat::fromRational(F32, rat(2));
+  SoftFloat NaN = SoftFloat::nan(F32);
+  SoftFloat PosZero = SoftFloat::zero(F32, false);
+  SoftFloat NegZero = SoftFloat::zero(F32, true);
+  SoftFloat NegInf = SoftFloat::infinity(F32, true);
+
+  EXPECT_TRUE(One.lessThan(Two));
+  EXPECT_FALSE(Two.lessThan(One));
+  EXPECT_TRUE(One.lessOrEqual(One));
+  EXPECT_FALSE(NaN.lessOrEqual(NaN));
+  EXPECT_FALSE(NaN.ieeeEquals(NaN));
+  EXPECT_TRUE(NaN.smtEquals(NaN));
+  EXPECT_TRUE(PosZero.ieeeEquals(NegZero));
+  EXPECT_FALSE(PosZero.smtEquals(NegZero));
+  EXPECT_TRUE(NegInf.lessThan(One));
+  EXPECT_FALSE(NegInf.lessThan(NegInf));
+  EXPECT_TRUE(NegInf.lessOrEqual(NegInf));
+}
+
+TEST(SoftFloatTest, BitPatternRoundTrip) {
+  FpFormat F16 = FpFormat::float16();
+  // Sweep all 2^16 half-precision patterns: decode then re-encode.
+  for (uint32_t Pattern = 0; Pattern < (1u << 16); Pattern += 7) {
+    BitVecValue Bits(16, static_cast<int64_t>(Pattern));
+    SoftFloat Value = SoftFloat::fromBits(F16, Bits);
+    BitVecValue Back = Value.toBits();
+    if (Value.isNaN()) {
+      EXPECT_TRUE(SoftFloat::fromBits(F16, Back).isNaN());
+      continue;
+    }
+    EXPECT_EQ(Back, Bits) << "pattern " << Pattern;
+  }
+}
+
+TEST(SoftFloatTest, KnownBitPatterns) {
+  FpFormat F32 = FpFormat::float32();
+  // 1.0f = 0x3f800000.
+  SoftFloat One = SoftFloat::fromBits(F32, BitVecValue(32, 0x3f800000));
+  EXPECT_EQ(One.toRational(), rat(1));
+  // -2.0f = 0xc0000000.
+  SoftFloat NegTwo = SoftFloat::fromBits(F32, BitVecValue(32, 0xc0000000ll));
+  EXPECT_EQ(NegTwo.toRational(), rat(-2));
+  // +inf = 0x7f800000.
+  EXPECT_TRUE(SoftFloat::fromBits(F32, BitVecValue(32, 0x7f800000)).isInfinity());
+  // NaN = 0x7fc00000.
+  EXPECT_TRUE(SoftFloat::fromBits(F32, BitVecValue(32, 0x7fc00000)).isNaN());
+  // 0.5f = 0x3f000000.
+  EXPECT_EQ(SoftFloat::fromBits(F32, BitVecValue(32, 0x3f000000)).toRational(),
+            rat(1, 2));
+  EXPECT_EQ(One.toBits(), BitVecValue(32, 0x3f800000));
+}
+
+// Property sweep over formats: algebraic sanity of rounded arithmetic.
+class SoftFloatFormatTest : public ::testing::TestWithParam<FpFormat> {};
+
+TEST_P(SoftFloatFormatTest, NegationAndAbs) {
+  FpFormat Format = GetParam();
+  SoftFloat V = SoftFloat::fromRational(Format, rat(-7, 2));
+  EXPECT_TRUE(V.isNegative());
+  EXPECT_FALSE(V.abs().isNegative());
+  EXPECT_TRUE(V.neg().toRational() == rat(7, 2));
+  EXPECT_TRUE(V.neg().neg().smtEquals(V));
+}
+
+TEST_P(SoftFloatFormatTest, AddCommutes) {
+  FpFormat Format = GetParam();
+  SoftFloat A = SoftFloat::fromRational(Format, rat(3, 7));
+  SoftFloat B = SoftFloat::fromRational(Format, rat(-11, 5));
+  EXPECT_TRUE(A.add(B).smtEquals(B.add(A)));
+  EXPECT_TRUE(A.mul(B).smtEquals(B.mul(A)));
+}
+
+TEST_P(SoftFloatFormatTest, SmallIntegersExact) {
+  FpFormat Format = GetParam();
+  for (int64_t I = -8; I <= 8; ++I) {
+    SoftFloat F = SoftFloat::fromRational(Format, rat(I));
+    if (I == 0) {
+      EXPECT_TRUE(F.isZero());
+      continue;
+    }
+    ASSERT_TRUE(F.isFinite());
+    EXPECT_EQ(F.toRational(), rat(I));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SoftFloatFormatTest,
+                         ::testing::Values(FpFormat::float16(),
+                                           FpFormat::float32(),
+                                           FpFormat::float64(),
+                                           FpFormat{5, 4}, FpFormat{4, 6},
+                                           FpFormat{8, 10}));
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/termination_test.cpp - Termination client tests --------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/TerminationProver.h"
+
+#include "z3adapter/Z3Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Parser tests.
+//===--------------------------------------------------------------------===//
+
+TEST(LoopProgramParserTest, Countdown) {
+  auto R = parseLoopProgram("vars x; while (x >= 0) { x = x - 1; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Program.Variables.size(), 1u);
+  ASSERT_EQ(R.Program.Guard.size(), 1u);
+  EXPECT_EQ(R.Program.Guard[0].Relation, Kind::Ge);
+  ASSERT_EQ(R.Program.Updates.size(), 1u);
+  EXPECT_TRUE(R.Program.isLinear());
+}
+
+TEST(LoopProgramParserTest, SequentialAssignmentsAreComposed) {
+  // y reads the *new* x: y' = (x - 1) + y.
+  auto R = parseLoopProgram("vars x, y; while (x >= 0) "
+                            "{ x = x - 1; y = y + x; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const UpdateExpr &YUpdate = R.Program.Updates[1];
+  // Expect monomials summing to x + y - 1.
+  BigInt CoefX, CoefY, Const;
+  for (const Monomial &Mono : YUpdate.Monomials) {
+    if (Mono.Powers.empty())
+      Const += Mono.Coefficient;
+    else if (Mono.Powers.count(0))
+      CoefX += Mono.Coefficient;
+    else
+      CoefY += Mono.Coefficient;
+  }
+  EXPECT_EQ(CoefX.toString(), "1");
+  EXPECT_EQ(CoefY.toString(), "1");
+  EXPECT_EQ(Const.toString(), "-1");
+}
+
+TEST(LoopProgramParserTest, PolynomialUpdate) {
+  auto R = parseLoopProgram("vars x; while (x <= 100) { x = x * x + 2; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Program.isLinear());
+}
+
+TEST(LoopProgramParserTest, MultiAtomGuard) {
+  auto R = parseLoopProgram(
+      "vars a, b; while (a >= 0 && b <= 10 && a < 100) { a = a + 1; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Program.Guard.size(), 3u);
+}
+
+TEST(LoopProgramParserTest, Diagnostics) {
+  EXPECT_FALSE(parseLoopProgram("vars x; while (y >= 0) { x = x - 1; }").Ok);
+  EXPECT_FALSE(parseLoopProgram("vars x; while (x != 0) { x = x - 1; }").Ok);
+  EXPECT_FALSE(parseLoopProgram("while (x >= 0) {}").Ok);
+  EXPECT_FALSE(
+      parseLoopProgram("vars x; while (x * x >= 0) { x = x - 1; }").Ok);
+  EXPECT_FALSE(parseLoopProgram("vars x, x; while (x >= 0) {}").Ok);
+}
+
+//===--------------------------------------------------------------------===//
+// Query construction.
+//===--------------------------------------------------------------------===//
+
+TEST(TerminationQueryTest, NonterminationQueryShape) {
+  auto R = parseLoopProgram("vars x; while (x >= 0) { x = x * x; }", "p1");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  TermManager M;
+  auto Q = buildNonterminationQuery(M, R.Program);
+  // Guard atom + one fixed-point equation.
+  EXPECT_EQ(Q.size(), 2u);
+  // x = x*x has fixed points 0, 1 inside the guard: sat.
+  auto Solver = createZ3Solver();
+  SolveResult Result = Solver->solve(M, Q, {});
+  EXPECT_EQ(Result.Status, SolveStatus::Sat);
+}
+
+TEST(TerminationQueryTest, RankingQueryFindsCountdownRank) {
+  auto R = parseLoopProgram("vars x; while (x >= 0) { x = x - 1; }", "p2");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  TermManager M;
+  auto Q = buildRankingQuery(M, R.Program);
+  auto Solver = createZ3Solver();
+  SolveResult Result = Solver->solve(M, Q, {});
+  // f(x) = x is a valid ranking function; the query must be sat.
+  EXPECT_EQ(Result.Status, SolveStatus::Sat);
+}
+
+TEST(TerminationQueryTest, RankingQueryUnsatForNonterminating) {
+  auto R = parseLoopProgram("vars x, y; while (x >= 0) { y = y + 1; }",
+                            "p3");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  TermManager M;
+  auto Q = buildRankingQuery(M, R.Program);
+  auto Solver = createZ3Solver();
+  SolveResult Result = Solver->solve(M, Q, {});
+  EXPECT_EQ(Result.Status, SolveStatus::Unsat);
+}
+
+//===--------------------------------------------------------------------===//
+// End-to-end analysis.
+//===--------------------------------------------------------------------===//
+
+TEST(TerminationAnalysisTest, VerdictsWithZ3) {
+  auto Backend = createZ3Solver();
+  SolverOptions Options;
+  Options.TimeoutSeconds = 10.0;
+
+  struct Case {
+    const char *Source;
+    TerminationVerdict Expected;
+  };
+  const Case Cases[] = {
+      {"vars x; while (x >= 0) { x = x - 1; }",
+       TerminationVerdict::Terminating},
+      {"vars x, y; while (x >= 0) { y = y + 1; }",
+       TerminationVerdict::NonTerminating},
+      {"vars x; while (x <= 50) { x = x * x; }",
+       TerminationVerdict::NonTerminating}, // Fixed points 0 and 1.
+      {"vars x, y; while (x <= 100 && y >= 0) { x = x + 1; y = y - 1; }",
+       TerminationVerdict::Terminating},
+  };
+  int Index = 0;
+  for (const Case &C : Cases) {
+    TermManager M;
+    auto R = parseLoopProgram(C.Source, "case" + std::to_string(Index++));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    TerminationAnalysis A =
+        analyzeTermination(M, R.Program, *Backend, Options, /*UseStaub=*/false);
+    EXPECT_EQ(A.Verdict, C.Expected) << C.Source;
+    // And the STAUB-portfolio variant must agree.
+    TermManager M2;
+    auto R2 = parseLoopProgram(C.Source, "staubcase" + std::to_string(Index));
+    TerminationAnalysis B =
+        analyzeTermination(M2, R2.Program, *Backend, Options, /*UseStaub=*/true);
+    EXPECT_EQ(B.Verdict, C.Expected) << C.Source << " (STAUB)";
+  }
+}
+
+TEST(TerminationAnalysisTest, SuiteGeneratorShapes) {
+  auto Suite = generateTerminationSuite(20, 7);
+  ASSERT_EQ(Suite.size(), 20u);
+  unsigned Linear = 0, Poly = 0;
+  for (const LoopProgram &P : Suite) {
+    EXPECT_FALSE(P.Variables.empty());
+    EXPECT_FALSE(P.Guard.empty());
+    if (P.isLinear())
+      ++Linear;
+    else
+      ++Poly;
+  }
+  EXPECT_GT(Linear, 0u);
+  EXPECT_GT(Poly, 0u);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- tools/staub_cli.cpp - The STAUB command-line tool ------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end mirroring the paper's tool: read an SMT-LIB
+/// constraint over QF_LIA/QF_NIA/QF_LRA/QF_NRA and either solve it with
+/// theory arbitrage (embedded solving + underapproximation checking,
+/// Sec. 5.1 "Implementation") or emit the transformed bounded constraint
+/// for use with any external SMT-LIB-compliant solver (the terminal
+/// output flag).
+///
+/// Usage:
+///   staub [options] [file.smt2]        (stdin when no file)
+/// Options:
+///   --solver=z3|minismt   backend (default z3)
+///   --portfolio           race STAUB against the plain solver (2 threads)
+///   --fixed-width=N       skip inference; use an N-bit translation
+///   --root-width          use the abstract interpretation root width
+///   --emit-bounded        print the transformed constraint, do not solve
+///   --timeout=SECONDS     per-solve budget (default 30)
+///   --stats               print timing decomposition
+///
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Parser.h"
+#include "smtlib/Printer.h"
+#include "staub/Staub.h"
+#include "staub/BoundInference.h"
+#include "staub/Transform.h"
+#include "z3adapter/Z3Solver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+using namespace staub;
+
+namespace {
+
+struct CliOptions {
+  std::string SolverName = "z3";
+  std::string InputPath;
+  bool Portfolio = false;
+  bool EmitBounded = false;
+  bool RootWidth = false;
+  bool Stats = false;
+  std::optional<unsigned> FixedWidth;
+  double TimeoutSeconds = 30.0;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
+      "             [--root-width] [--emit-bounded] [--timeout=S] [--stats]\n"
+      "             [file.smt2]\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--solver=", 0) == 0) {
+      Options.SolverName = Arg.substr(9);
+      if (Options.SolverName != "z3" && Options.SolverName != "minismt") {
+        std::fprintf(stderr, "error: unknown solver '%s'\n",
+                     Options.SolverName.c_str());
+        return false;
+      }
+    } else if (Arg == "--portfolio") {
+      Options.Portfolio = true;
+    } else if (Arg == "--emit-bounded") {
+      Options.EmitBounded = true;
+    } else if (Arg == "--root-width") {
+      Options.RootWidth = true;
+    } else if (Arg == "--stats") {
+      Options.Stats = true;
+    } else if (Arg.rfind("--fixed-width=", 0) == 0) {
+      int Width = std::atoi(Arg.c_str() + 14);
+      if (Width < 1 || Width > 512) {
+        std::fprintf(stderr, "error: bad width '%s'\n", Arg.c_str());
+        return false;
+      }
+      Options.FixedWidth = static_cast<unsigned>(Width);
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      Options.TimeoutSeconds = std::atof(Arg.c_str() + 10);
+      if (Options.TimeoutSeconds <= 0) {
+        std::fprintf(stderr, "error: bad timeout '%s'\n", Arg.c_str());
+        return false;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Options.InputPath.empty()) {
+      Options.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    printUsage();
+    return 2;
+  }
+
+  TermManager Manager;
+  ParseResult Parsed;
+  if (Cli.InputPath.empty()) {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Parsed = parseSmtLib(Manager, Buffer.str());
+  } else {
+    Parsed = parseSmtLibFile(Manager, Cli.InputPath);
+  }
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
+    return 2;
+  }
+  const std::vector<Term> &Assertions = Parsed.Parsed.Assertions;
+
+  StaubOptions Options;
+  Options.FixedWidth = Cli.FixedWidth;
+  Options.UseRootWidth = Cli.RootWidth;
+  Options.Solve.TimeoutSeconds = Cli.TimeoutSeconds;
+
+  if (Cli.EmitBounded) {
+    // Translation only: the output is fed to an external solver.
+    bool IsInt = false;
+    for (Term A : Assertions)
+      for (Term V : Manager.collectVariables(A))
+        if (Manager.sort(V).isInt())
+          IsInt = true;
+    TransformResult T;
+    Script Out;
+    if (IsInt) {
+      unsigned Width;
+      if (Cli.FixedWidth) {
+        Width = *Cli.FixedWidth;
+      } else {
+        IntBounds Bounds = inferIntBounds(Manager, Assertions);
+        Width = Cli.RootWidth ? Bounds.RootWidth : Bounds.VariableAssumption;
+      }
+      T = transformIntToBv(Manager, Assertions, Width);
+      Out.Logic = "QF_BV";
+    } else {
+      RealBounds Bounds = inferRealBounds(Manager, Assertions);
+      T = transformRealToFp(
+          Manager, Assertions,
+          chooseFpFormat(Bounds.RootMagnitude, Bounds.RootPrecision));
+      Out.Logic = "QF_FP";
+    }
+    if (!T.Ok) {
+      std::fprintf(stderr, "error: translation failed: %s\n",
+                   T.FailReason.c_str());
+      return 2;
+    }
+    Out.Assertions = T.Assertions;
+    Out.HasCheckSat = true;
+    std::fputs(printScript(Manager, Out).c_str(), stdout);
+    return 0;
+  }
+
+  std::unique_ptr<SolverBackend> Backend = Cli.SolverName == "z3"
+                                               ? createZ3Solver()
+                                               : createMiniSmtSolver();
+
+  if (Cli.Portfolio) {
+    PortfolioResult R =
+        runPortfolioRacing(Manager, Assertions, *Backend, Options);
+    std::printf("%s\n", std::string(toString(R.Status)).c_str());
+    if (Cli.Stats)
+      std::fprintf(stderr,
+                   "; portfolio=%.4fs original=%.4fs staub=%.4fs winner=%s\n",
+                   R.PortfolioSeconds, R.OriginalSeconds, R.StaubSeconds,
+                   R.StaubWon ? "staub" : "original");
+    return R.Status == SolveStatus::Unknown ? 1 : 0;
+  }
+
+  StaubOutcome Outcome = runStaub(Manager, Assertions, *Backend, Options);
+  if (Outcome.Path == StaubPath::VerifiedSat) {
+    std::printf("sat\n");
+    for (Term Var : Parsed.Parsed.Variables) {
+      const Value *V = Outcome.VerifiedModel.get(Var);
+      if (V)
+        std::printf("; %s = %s\n", Manager.variableName(Var).c_str(),
+                    V->toString().c_str());
+    }
+  } else {
+    // Underapproximation cannot conclude: report and revert to the
+    // original constraint.
+    std::fprintf(stderr, "; staub lane: %s — solving original\n",
+                 std::string(toString(Outcome.Path)).c_str());
+    SolveResult R = Backend->solve(Manager, Assertions, Options.Solve);
+    std::printf("%s\n", std::string(toString(R.Status)).c_str());
+  }
+  if (Cli.Stats) {
+    if (Outcome.ChosenWidth)
+      std::fprintf(stderr, "; width=%u", Outcome.ChosenWidth);
+    else
+      std::fprintf(stderr, "; format=(_ FloatingPoint %u %u)",
+                   Outcome.ChosenFormat.ExponentBits,
+                   Outcome.ChosenFormat.SignificandBits);
+    std::fprintf(stderr, " t_trans=%.4fs t_post=%.4fs t_check=%.4fs\n",
+                 Outcome.TransSeconds, Outcome.SolveSeconds,
+                 Outcome.CheckSeconds);
+  }
+  return 0;
+}
