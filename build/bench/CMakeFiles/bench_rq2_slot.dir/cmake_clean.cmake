@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq2_slot.dir/bench_rq2_slot.cpp.o"
+  "CMakeFiles/bench_rq2_slot.dir/bench_rq2_slot.cpp.o.d"
+  "bench_rq2_slot"
+  "bench_rq2_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq2_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

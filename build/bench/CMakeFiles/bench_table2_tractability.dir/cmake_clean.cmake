@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tractability.dir/bench_table2_tractability.cpp.o"
+  "CMakeFiles/bench_table2_tractability.dir/bench_table2_tractability.cpp.o.d"
+  "bench_table2_tractability"
+  "bench_table2_tractability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tractability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_gap.dir/bench_theory_gap.cpp.o"
+  "CMakeFiles/bench_theory_gap.dir/bench_theory_gap.cpp.o.d"
+  "bench_theory_gap"
+  "bench_theory_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

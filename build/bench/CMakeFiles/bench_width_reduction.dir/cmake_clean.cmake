@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_reduction.dir/bench_width_reduction.cpp.o"
+  "CMakeFiles/bench_width_reduction.dir/bench_width_reduction.cpp.o.d"
+  "bench_width_reduction"
+  "bench_width_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_solving.dir/portfolio_solving.cpp.o"
+  "CMakeFiles/portfolio_solving.dir/portfolio_solving.cpp.o.d"
+  "portfolio_solving"
+  "portfolio_solving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_solving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

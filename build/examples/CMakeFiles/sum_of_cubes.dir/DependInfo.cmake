@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sum_of_cubes.cpp" "examples/CMakeFiles/sum_of_cubes.dir/sum_of_cubes.cpp.o" "gcc" "examples/CMakeFiles/sum_of_cubes.dir/sum_of_cubes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/staub/CMakeFiles/staub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/staub_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/termination/CMakeFiles/staub_termination.dir/DependInfo.cmake"
+  "/root/repo/build/src/slot/CMakeFiles/staub_slot.dir/DependInfo.cmake"
+  "/root/repo/build/src/z3adapter/CMakeFiles/staub_z3adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/staub_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/staub_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/smtlib/CMakeFiles/staub_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/staub_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sum_of_cubes.dir/sum_of_cubes.cpp.o"
+  "CMakeFiles/sum_of_cubes.dir/sum_of_cubes.cpp.o.d"
+  "sum_of_cubes"
+  "sum_of_cubes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sum_of_cubes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sum_of_cubes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_proving.dir/termination_proving.cpp.o"
+  "CMakeFiles/termination_proving.dir/termination_proving.cpp.o.d"
+  "termination_proving"
+  "termination_proving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_proving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_benchgen.dir/Generators.cpp.o"
+  "CMakeFiles/staub_benchgen.dir/Generators.cpp.o.d"
+  "CMakeFiles/staub_benchgen.dir/Harness.cpp.o"
+  "CMakeFiles/staub_benchgen.dir/Harness.cpp.o.d"
+  "libstaub_benchgen.a"
+  "libstaub_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

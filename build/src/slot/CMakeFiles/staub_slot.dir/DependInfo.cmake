@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slot/Slot.cpp" "src/slot/CMakeFiles/staub_slot.dir/Slot.cpp.o" "gcc" "src/slot/CMakeFiles/staub_slot.dir/Slot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/staub_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/smtlib/CMakeFiles/staub_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/staub_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_slot.dir/Slot.cpp.o"
+  "CMakeFiles/staub_slot.dir/Slot.cpp.o.d"
+  "libstaub_slot.a"
+  "libstaub_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smtlib/Lexer.cpp" "src/smtlib/CMakeFiles/staub_smtlib.dir/Lexer.cpp.o" "gcc" "src/smtlib/CMakeFiles/staub_smtlib.dir/Lexer.cpp.o.d"
+  "/root/repo/src/smtlib/Parser.cpp" "src/smtlib/CMakeFiles/staub_smtlib.dir/Parser.cpp.o" "gcc" "src/smtlib/CMakeFiles/staub_smtlib.dir/Parser.cpp.o.d"
+  "/root/repo/src/smtlib/Printer.cpp" "src/smtlib/CMakeFiles/staub_smtlib.dir/Printer.cpp.o" "gcc" "src/smtlib/CMakeFiles/staub_smtlib.dir/Printer.cpp.o.d"
+  "/root/repo/src/smtlib/TermManager.cpp" "src/smtlib/CMakeFiles/staub_smtlib.dir/TermManager.cpp.o" "gcc" "src/smtlib/CMakeFiles/staub_smtlib.dir/TermManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/staub_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_smtlib.dir/Lexer.cpp.o"
+  "CMakeFiles/staub_smtlib.dir/Lexer.cpp.o.d"
+  "CMakeFiles/staub_smtlib.dir/Parser.cpp.o"
+  "CMakeFiles/staub_smtlib.dir/Parser.cpp.o.d"
+  "CMakeFiles/staub_smtlib.dir/Printer.cpp.o"
+  "CMakeFiles/staub_smtlib.dir/Printer.cpp.o.d"
+  "CMakeFiles/staub_smtlib.dir/TermManager.cpp.o"
+  "CMakeFiles/staub_smtlib.dir/TermManager.cpp.o.d"
+  "libstaub_smtlib.a"
+  "libstaub_smtlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_smtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for staub_smtlib.
+# This may be replaced when dependencies are built.

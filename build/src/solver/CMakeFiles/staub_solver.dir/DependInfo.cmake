@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/BitBlaster.cpp" "src/solver/CMakeFiles/staub_solver.dir/BitBlaster.cpp.o" "gcc" "src/solver/CMakeFiles/staub_solver.dir/BitBlaster.cpp.o.d"
+  "/root/repo/src/solver/Icp.cpp" "src/solver/CMakeFiles/staub_solver.dir/Icp.cpp.o" "gcc" "src/solver/CMakeFiles/staub_solver.dir/Icp.cpp.o.d"
+  "/root/repo/src/solver/LinearArith.cpp" "src/solver/CMakeFiles/staub_solver.dir/LinearArith.cpp.o" "gcc" "src/solver/CMakeFiles/staub_solver.dir/LinearArith.cpp.o.d"
+  "/root/repo/src/solver/MiniSmt.cpp" "src/solver/CMakeFiles/staub_solver.dir/MiniSmt.cpp.o" "gcc" "src/solver/CMakeFiles/staub_solver.dir/MiniSmt.cpp.o.d"
+  "/root/repo/src/solver/Sat.cpp" "src/solver/CMakeFiles/staub_solver.dir/Sat.cpp.o" "gcc" "src/solver/CMakeFiles/staub_solver.dir/Sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/staub_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/smtlib/CMakeFiles/staub_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/staub_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

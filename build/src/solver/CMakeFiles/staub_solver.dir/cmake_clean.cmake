@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_solver.dir/BitBlaster.cpp.o"
+  "CMakeFiles/staub_solver.dir/BitBlaster.cpp.o.d"
+  "CMakeFiles/staub_solver.dir/Icp.cpp.o"
+  "CMakeFiles/staub_solver.dir/Icp.cpp.o.d"
+  "CMakeFiles/staub_solver.dir/LinearArith.cpp.o"
+  "CMakeFiles/staub_solver.dir/LinearArith.cpp.o.d"
+  "CMakeFiles/staub_solver.dir/MiniSmt.cpp.o"
+  "CMakeFiles/staub_solver.dir/MiniSmt.cpp.o.d"
+  "CMakeFiles/staub_solver.dir/Sat.cpp.o"
+  "CMakeFiles/staub_solver.dir/Sat.cpp.o.d"
+  "libstaub_solver.a"
+  "libstaub_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_core.dir/BoundInference.cpp.o"
+  "CMakeFiles/staub_core.dir/BoundInference.cpp.o.d"
+  "CMakeFiles/staub_core.dir/Staub.cpp.o"
+  "CMakeFiles/staub_core.dir/Staub.cpp.o.d"
+  "CMakeFiles/staub_core.dir/Transform.cpp.o"
+  "CMakeFiles/staub_core.dir/Transform.cpp.o.d"
+  "CMakeFiles/staub_core.dir/WidthReduction.cpp.o"
+  "CMakeFiles/staub_core.dir/WidthReduction.cpp.o.d"
+  "libstaub_core.a"
+  "libstaub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_support.dir/BigInt.cpp.o"
+  "CMakeFiles/staub_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/staub_support.dir/BitVecValue.cpp.o"
+  "CMakeFiles/staub_support.dir/BitVecValue.cpp.o.d"
+  "CMakeFiles/staub_support.dir/Rational.cpp.o"
+  "CMakeFiles/staub_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/staub_support.dir/SoftFloat.cpp.o"
+  "CMakeFiles/staub_support.dir/SoftFloat.cpp.o.d"
+  "libstaub_support.a"
+  "libstaub_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_termination.dir/Program.cpp.o"
+  "CMakeFiles/staub_termination.dir/Program.cpp.o.d"
+  "CMakeFiles/staub_termination.dir/TerminationProver.cpp.o"
+  "CMakeFiles/staub_termination.dir/TerminationProver.cpp.o.d"
+  "libstaub_termination.a"
+  "libstaub_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

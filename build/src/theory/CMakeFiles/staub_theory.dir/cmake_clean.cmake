@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_theory.dir/Evaluator.cpp.o"
+  "CMakeFiles/staub_theory.dir/Evaluator.cpp.o.d"
+  "libstaub_theory.a"
+  "libstaub_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_z3adapter.dir/Z3ProcessSolver.cpp.o"
+  "CMakeFiles/staub_z3adapter.dir/Z3ProcessSolver.cpp.o.d"
+  "CMakeFiles/staub_z3adapter.dir/Z3Solver.cpp.o"
+  "CMakeFiles/staub_z3adapter.dir/Z3Solver.cpp.o.d"
+  "libstaub_z3adapter.a"
+  "libstaub_z3adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_z3adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

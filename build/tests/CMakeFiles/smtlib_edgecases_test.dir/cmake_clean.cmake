@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_edgecases_test.dir/smtlib_edgecases_test.cpp.o"
+  "CMakeFiles/smtlib_edgecases_test.dir/smtlib_edgecases_test.cpp.o.d"
+  "smtlib_edgecases_test"
+  "smtlib_edgecases_test.pdb"
+  "smtlib_edgecases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_edgecases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_parser_test.dir/smtlib_parser_test.cpp.o"
+  "CMakeFiles/smtlib_parser_test.dir/smtlib_parser_test.cpp.o.d"
+  "smtlib_parser_test"
+  "smtlib_parser_test.pdb"
+  "smtlib_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_term_test.dir/smtlib_term_test.cpp.o"
+  "CMakeFiles/smtlib_term_test.dir/smtlib_term_test.cpp.o.d"
+  "smtlib_term_test"
+  "smtlib_term_test.pdb"
+  "smtlib_term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_icp_test.dir/solver_icp_test.cpp.o"
+  "CMakeFiles/solver_icp_test.dir/solver_icp_test.cpp.o.d"
+  "solver_icp_test"
+  "solver_icp_test.pdb"
+  "solver_icp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_icp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

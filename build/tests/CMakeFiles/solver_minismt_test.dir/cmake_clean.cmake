@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_minismt_test.dir/solver_minismt_test.cpp.o"
+  "CMakeFiles/solver_minismt_test.dir/solver_minismt_test.cpp.o.d"
+  "solver_minismt_test"
+  "solver_minismt_test.pdb"
+  "solver_minismt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_minismt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

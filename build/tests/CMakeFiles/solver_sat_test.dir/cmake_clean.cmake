@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_sat_test.dir/solver_sat_test.cpp.o"
+  "CMakeFiles/solver_sat_test.dir/solver_sat_test.cpp.o.d"
+  "solver_sat_test"
+  "solver_sat_test.pdb"
+  "solver_sat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

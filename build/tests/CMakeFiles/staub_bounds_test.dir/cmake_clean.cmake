@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_bounds_test.dir/staub_bounds_test.cpp.o"
+  "CMakeFiles/staub_bounds_test.dir/staub_bounds_test.cpp.o.d"
+  "staub_bounds_test"
+  "staub_bounds_test.pdb"
+  "staub_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_fuzz_test.dir/staub_fuzz_test.cpp.o"
+  "CMakeFiles/staub_fuzz_test.dir/staub_fuzz_test.cpp.o.d"
+  "staub_fuzz_test"
+  "staub_fuzz_test.pdb"
+  "staub_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

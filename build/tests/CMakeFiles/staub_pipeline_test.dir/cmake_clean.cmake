@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_pipeline_test.dir/staub_pipeline_test.cpp.o"
+  "CMakeFiles/staub_pipeline_test.dir/staub_pipeline_test.cpp.o.d"
+  "staub_pipeline_test"
+  "staub_pipeline_test.pdb"
+  "staub_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

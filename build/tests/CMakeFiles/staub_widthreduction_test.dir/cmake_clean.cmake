@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_widthreduction_test.dir/staub_widthreduction_test.cpp.o"
+  "CMakeFiles/staub_widthreduction_test.dir/staub_widthreduction_test.cpp.o.d"
+  "staub_widthreduction_test"
+  "staub_widthreduction_test.pdb"
+  "staub_widthreduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_widthreduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_bigint_test.dir/support_bigint_test.cpp.o"
+  "CMakeFiles/support_bigint_test.dir/support_bigint_test.cpp.o.d"
+  "support_bigint_test"
+  "support_bigint_test.pdb"
+  "support_bigint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_softfloat_test.dir/support_softfloat_test.cpp.o"
+  "CMakeFiles/support_softfloat_test.dir/support_softfloat_test.cpp.o.d"
+  "support_softfloat_test"
+  "support_softfloat_test.pdb"
+  "support_softfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_softfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

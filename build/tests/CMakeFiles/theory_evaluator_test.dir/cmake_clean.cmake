@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_evaluator_test.dir/theory_evaluator_test.cpp.o"
+  "CMakeFiles/theory_evaluator_test.dir/theory_evaluator_test.cpp.o.d"
+  "theory_evaluator_test"
+  "theory_evaluator_test.pdb"
+  "theory_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/z3adapter_test.dir/z3adapter_test.cpp.o"
+  "CMakeFiles/z3adapter_test.dir/z3adapter_test.cpp.o.d"
+  "z3adapter_test"
+  "z3adapter_test.pdb"
+  "z3adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/z3adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/support_rational_test[1]_include.cmake")
+include("/root/repo/build/tests/support_bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/support_softfloat_test[1]_include.cmake")
+include("/root/repo/build/tests/smtlib_term_test[1]_include.cmake")
+include("/root/repo/build/tests/smtlib_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_sat_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_minismt_test[1]_include.cmake")
+include("/root/repo/build/tests/z3adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/staub_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/staub_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/slot_test[1]_include.cmake")
+include("/root/repo/build/tests/termination_test[1]_include.cmake")
+include("/root/repo/build/tests/benchgen_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_linarith_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_icp_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/staub_widthreduction_test[1]_include.cmake")
+include("/root/repo/build/tests/staub_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/smtlib_edgecases_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staub_cli.dir/staub_cli.cpp.o"
+  "CMakeFiles/staub_cli.dir/staub_cli.cpp.o.d"
+  "staub"
+  "staub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staub_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_solve_smoke "sh" "-c" "echo '(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)' | /root/repo/build/tools/staub --stats")
+set_tests_properties(cli_solve_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_bounded_smoke "sh" "-c" "echo '(declare-fun x () Int)(assert (> x 100))' | /root/repo/build/tools/staub --emit-bounded | grep -q 'BitVec'")
+set_tests_properties(cli_emit_bounded_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_portfolio_smoke "sh" "-c" "echo '(declare-fun x () Int)(assert (> x 5))(assert (< x 3))' | /root/repo/build/tools/staub --portfolio --solver=minismt | grep -q unsat")
+set_tests_properties(cli_portfolio_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_args "sh" "-c" "! /root/repo/build/tools/staub --no-such-flag </dev/null")
+set_tests_properties(cli_rejects_bad_args PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
