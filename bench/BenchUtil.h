@@ -15,6 +15,9 @@
 ///   STAUB_BENCH_COUNT    instances per logic suite (default 24; the
 ///                        paper's suites have 1.7k-25k)
 ///   STAUB_BENCH_SEED     generator seed (default 42)
+///   STAUB_BENCH_JOBS     suite-evaluation worker threads (default 1);
+///                        the `--jobs N` command-line flag overrides it,
+///                        and `--jobs 0` means one per hardware thread
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +26,9 @@
 
 #include "benchgen/Generators.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace staub {
@@ -51,6 +56,23 @@ inline BenchConfig benchConfig() {
   Config.Seed = benchSeed();
   Config.Count = benchCount();
   return Config;
+}
+
+/// Worker-thread count for parallel suite evaluation: `--jobs N` /
+/// `--jobs=N` on the command line, else STAUB_BENCH_JOBS, else 1
+/// (sequential). 0 resolves to one job per hardware thread inside the
+/// harness. Parallelism changes suite wall-clock only, never the
+/// per-constraint measurements (see EXPERIMENTS.md).
+inline unsigned benchJobs(int Argc = 0, char **Argv = nullptr) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      return static_cast<unsigned>(std::max(0, std::atoi(Argv[I + 1])));
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      return static_cast<unsigned>(std::max(0, std::atoi(Argv[I] + 7)));
+  }
+  if (const char *Env = std::getenv("STAUB_BENCH_JOBS"))
+    return static_cast<unsigned>(std::max(0, std::atoi(Env)));
+  return 1;
 }
 
 } // namespace staub

@@ -22,11 +22,13 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
+  const unsigned Jobs = benchJobs(Argc, Argv);
   std::printf("=== E12 (Sec. 6.2): bound-selection ablation on QF_NIA ===\n");
-  std::printf("timeout %.2fs, %u instances, seed %llu\n\n", Timeout,
-              benchCount(), static_cast<unsigned long long>(benchSeed()));
+  std::printf("timeout %.2fs, %u instances, seed %llu, jobs %u\n\n", Timeout,
+              benchCount(), static_cast<unsigned long long>(benchSeed()),
+              Jobs);
 
   std::vector<EvalConfig> Configs(5);
   Configs[0].Label = "assumption"; // Default: largest-constant + 1.
@@ -46,7 +48,8 @@ int main() {
   for (auto &Solver : Solvers) {
     TermManager M;
     auto Suite = generateSuite(M, BenchLogic::QF_NIA, benchConfig());
-    auto PerConfig = evaluateSuiteConfigs(M, Suite, *Solver, Timeout, Configs);
+    auto PerConfig = evaluateSuiteConfigsParallel(M, Suite, *Solver, Timeout,
+                                                  Configs, Jobs);
     for (size_t Cfg = 0; Cfg < Configs.size(); ++Cfg) {
       EvalSummary S = summarize(PerConfig[Cfg], Timeout);
       std::printf("%-8s %-12s %6u %9u %11u %10.3f %9.3f\n",

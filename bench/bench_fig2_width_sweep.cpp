@@ -30,12 +30,17 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
   std::printf("=== E2/E3 (Fig. 2): fixed-width transformation sweep ===\n");
   std::printf("timeout %.2fs, %u instances per logic, seed %llu\n\n",
               Timeout, benchCount(),
               static_cast<unsigned long long>(benchSeed()));
+  // --jobs is accepted for driver uniformity, but this sweep re-solves the
+  // same constraints at many widths against one shared term manager, so it
+  // runs sequentially.
+  if (benchJobs(Argc, Argv) > 1)
+    std::printf("(note: width sweep is sequential; --jobs ignored)\n\n");
 
   auto Backend = createZ3ProcessSolver();
   const unsigned Widths[] = {8, 12, 16, 24, 32, 64};

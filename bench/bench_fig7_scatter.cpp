@@ -22,10 +22,12 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
+  const unsigned Jobs = benchJobs(Argc, Argv);
   std::printf("=== E6 (Fig. 7): initial vs final solving time (CSV) ===\n");
-  std::printf("# timeout=%.2fs; y<=x always (portfolio)\n", Timeout);
+  std::printf("# timeout=%.2fs jobs=%u; y<=x always (portfolio)\n", Timeout,
+              Jobs);
   std::printf("solver,logic,name,t_pre,t_after,original_status,staub_path\n");
 
   std::unique_ptr<SolverBackend> Solvers[] = {createZ3ProcessSolver(),
@@ -37,7 +39,7 @@ int main() {
       auto Suite = generateSuite(M, Logic, benchConfig());
       EvalOptions Options;
       Options.TimeoutSeconds = Timeout;
-      auto Records = evaluateSuite(M, Suite, *Solver, Options);
+      auto Records = evaluateSuiteParallel(M, Suite, *Solver, Options, Jobs);
       for (const EvalRecord &R : Records) {
         double Pre =
             R.OriginalStatus == SolveStatus::Unknown ? Timeout : R.TPre;

@@ -21,7 +21,11 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // Single-instance walkthrough: --jobs is accepted for driver uniformity
+  // but there is nothing to parallelize.
+  if (benchJobs(Argc, Argv) > 1)
+    std::printf("(note: single instance; --jobs ignored)\n");
   std::printf("=== E1 (Fig. 1 / Sec. 2): motivating example STC_0855 ===\n");
   TermManager M;
   GeneratedConstraint C = motivatingExample(M);

@@ -26,9 +26,14 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
   std::printf("=== E8 (RQ2 / Sec. 5.3): SLOT on STAUB's bounded output ===\n");
+  // --jobs is accepted for driver uniformity; this analysis chains
+  // transform -> SLOT -> solve on one shared term manager and runs
+  // sequentially.
+  if (benchJobs(Argc, Argv) > 1)
+    std::printf("(note: SLOT analysis is sequential; --jobs ignored)\n");
   auto Backend = createZ3ProcessSolver();
 
   TermManager M;

@@ -20,13 +20,19 @@
 #include "termination/TerminationProver.h"
 #include "z3adapter/Z3Solver.h"
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
-  std::printf("=== E9 (Fig. 8 / RQ3): termination client ===\n");
+  unsigned Jobs = benchJobs(Argc, Argv);
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== E9 (Fig. 8 / RQ3): termination client (jobs %u) ===\n",
+              Jobs);
   auto Backend = createZ3ProcessSolver();
   SolverOptions Options;
   Options.TimeoutSeconds = Timeout;
@@ -34,16 +40,42 @@ int main() {
   const unsigned Count = 97; // Matches the paper's benchmark count.
   auto Suite = generateTerminationSuite(Count, benchSeed());
 
+  // Each program is analyzed in its own TermManagers, so programs
+  // parallelize directly; results land at their suite index and the
+  // aggregation below stays order-identical to a sequential run.
+  struct ProgramResult {
+    TerminationAnalysis Plain, WithStaub;
+  };
+  std::vector<ProgramResult> Results(Suite.size());
+  {
+    std::atomic<size_t> NextIndex{0};
+    auto Worker = [&] {
+      for (;;) {
+        size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Suite.size())
+          return;
+        TermManager MPlain, MStaub;
+        Results[I].Plain = analyzeTermination(MPlain, Suite[I], *Backend,
+                                              Options, /*UseStaub=*/false);
+        Results[I].WithStaub = analyzeTermination(MStaub, Suite[I], *Backend,
+                                                  Options, /*UseStaub=*/true);
+      }
+    };
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W + 1 < Jobs && W + 1 < Suite.size(); ++W)
+      Workers.emplace_back(Worker);
+    Worker();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
   unsigned Verified = 0, Tractability = 0, VerdictFlips = 0;
   std::vector<double> VerifiedSpeedups, AllSpeedups;
   unsigned Terminating = 0, NonTerminating = 0, Unknown = 0;
 
-  for (const LoopProgram &Program : Suite) {
-    TermManager MPlain, MStaub;
-    TerminationAnalysis Plain = analyzeTermination(MPlain, Program, *Backend,
-                                                   Options, /*UseStaub=*/false);
-    TerminationAnalysis WithStaub = analyzeTermination(
-        MStaub, Program, *Backend, Options, /*UseStaub=*/true);
+  for (const ProgramResult &R : Results) {
+    const TerminationAnalysis &Plain = R.Plain;
+    const TerminationAnalysis &WithStaub = R.WithStaub;
 
     switch (WithStaub.Verdict) {
     case TerminationVerdict::Terminating:

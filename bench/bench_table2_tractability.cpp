@@ -25,12 +25,13 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
+  const unsigned Jobs = benchJobs(Argc, Argv);
   std::printf("=== E5 (Table 2): tractability improvements ===\n");
-  std::printf("timeout %.2fs, %u instances per logic, seed %llu\n\n",
+  std::printf("timeout %.2fs, %u instances per logic, seed %llu, jobs %u\n\n",
               Timeout, benchCount(),
-              static_cast<unsigned long long>(benchSeed()));
+              static_cast<unsigned long long>(benchSeed()), Jobs);
 
   std::unique_ptr<SolverBackend> Solvers[] = {createZ3ProcessSolver(),
                                               createMiniSmtSolver()};
@@ -59,8 +60,8 @@ int main() {
     for (auto &Solver : Solvers) {
       TermManager M;
       auto Suite = generateSuite(M, Logic, benchConfig());
-      All.push_back(
-          evaluateSuiteConfigs(M, Suite, *Solver, Timeout, Configs));
+      All.push_back(evaluateSuiteConfigsParallel(M, Suite, *Solver, Timeout,
+                                                 Configs, Jobs));
     }
     size_t N = All[0][0].size();
     for (size_t I = 0; I < N; ++I) {

@@ -26,13 +26,14 @@
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
+  const unsigned Jobs = benchJobs(Argc, Argv);
   std::printf("=== E7/E8 (Table 3): geometric-mean speedups ===\n");
   std::printf("timeout %.2fs (paper: 300s), %u instances per logic, seed "
-              "%llu\n\n",
+              "%llu, jobs %u\n\n",
               Timeout, benchCount(),
-              static_cast<unsigned long long>(benchSeed()));
+              static_cast<unsigned long long>(benchSeed()), Jobs);
 
   std::vector<EvalConfig> Configs(4);
   Configs[0].Label = "STAUB";
@@ -60,8 +61,8 @@ int main() {
     for (auto &Solver : Solvers) {
       TermManager M;
       auto Suite = generateSuite(M, Logic, benchConfig());
-      auto PerConfig =
-          evaluateSuiteConfigs(M, Suite, *Solver, Timeout, Configs);
+      auto PerConfig = evaluateSuiteConfigsParallel(M, Suite, *Solver,
+                                                    Timeout, Configs, Jobs);
       for (size_t Cfg = 0; Cfg < Configs.size(); ++Cfg) {
         for (size_t IV = 0; IV < 4; ++IV) {
           EvalSummary S = summarize(PerConfig[Cfg], Timeout,

@@ -18,26 +18,58 @@
 #include "support/Statistics.h"
 #include "z3adapter/Z3Solver.h"
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 using namespace staub;
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = std::max(benchTimeoutSeconds(), 5.0);
-  std::printf("=== E10 (Sec. 5.1 premise): Int vs BitVec theory gap ===\n");
+  unsigned Jobs = benchJobs(Argc, Argv);
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== E10 (Sec. 5.1 premise): Int vs BitVec theory gap "
+              "(jobs %u) ===\n",
+              Jobs);
 
+  const uint64_t NumSeeds = 10;
   std::unique_ptr<SolverBackend> Solvers[] = {createZ3ProcessSolver(),
                                               createMiniSmtSolver()};
   for (auto &Solver : Solvers) {
-    std::vector<double> Ratios;
     std::printf("-- solver: %s\n", std::string(Solver->name()).c_str());
-    for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
-      TermManager M;
-      TheoryGapPair Pair = theoryGapPair(M, Seed, 12);
-      SolverOptions Options;
-      Options.TimeoutSeconds = Timeout;
-      SolveResult IntR = Solver->solve(M, Pair.IntVersion.Assertions, Options);
-      SolveResult BvR = Solver->solve(M, Pair.BvVersion.Assertions, Options);
+    // Each seed builds its own TermManager, so seeds run in parallel;
+    // results are indexed by seed and printed in order afterwards.
+    struct SeedResult {
+      SolveResult IntR, BvR;
+    };
+    std::vector<SeedResult> Results(NumSeeds);
+    std::atomic<uint64_t> NextSeed{0};
+    auto Worker = [&] {
+      for (;;) {
+        uint64_t I = NextSeed.fetch_add(1, std::memory_order_relaxed);
+        if (I >= NumSeeds)
+          return;
+        TermManager M;
+        TheoryGapPair Pair = theoryGapPair(M, I + 1, 12);
+        SolverOptions Options;
+        Options.TimeoutSeconds = Timeout;
+        Results[I].IntR =
+            Solver->solve(M, Pair.IntVersion.Assertions, Options);
+        Results[I].BvR = Solver->solve(M, Pair.BvVersion.Assertions, Options);
+      }
+    };
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W + 1 < Jobs && W + 1 < NumSeeds; ++W)
+      Workers.emplace_back(Worker);
+    Worker();
+    for (std::thread &T : Workers)
+      T.join();
+
+    std::vector<double> Ratios;
+    for (uint64_t I = 0; I < NumSeeds; ++I) {
+      const SolveResult &IntR = Results[I].IntR;
+      const SolveResult &BvR = Results[I].BvR;
       double IntTime = IntR.Status == SolveStatus::Unknown
                            ? Timeout
                            : std::max(IntR.TimeSeconds, 1e-5);
@@ -47,7 +79,7 @@ int main() {
       Ratios.push_back(IntTime / BvTime);
       std::printf("  seed %2llu: Int %-7s %8.4fs | BV %-7s %8.4fs | "
                   "ratio %6.2fx\n",
-                  static_cast<unsigned long long>(Seed),
+                  static_cast<unsigned long long>(I + 1),
                   std::string(toString(IntR.Status)).c_str(), IntTime,
                   std::string(toString(BvR.Status)).c_str(), BvTime,
                   IntTime / BvTime);

@@ -58,12 +58,16 @@ std::vector<GeneratedConstraint> wideBvSuite(TermManager &M, unsigned Count,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
   std::printf("=== E13 (Sec. 6.4 extension): width reduction on bounded "
               "constraints ===\n");
   std::printf("wide width 32, timeout %.2fs, %u instances\n\n", Timeout,
               benchCount());
+  // --jobs is accepted for driver uniformity; this custom sweep shares one
+  // term manager across its wide/reduced solves and runs sequentially.
+  if (benchJobs(Argc, Argv) > 1)
+    std::printf("(note: reduction sweep is sequential; --jobs ignored)\n\n");
 
   std::unique_ptr<SolverBackend> Solvers[] = {createZ3ProcessSolver(),
                                               createMiniSmtSolver()};

@@ -81,6 +81,20 @@ std::vector<EvalRecord> evaluateSuite(TermManager &Manager,
                                       SolverBackend &Backend,
                                       const EvalOptions &Options);
 
+/// evaluateSuite over a pool of \p Jobs worker threads. Workers pull
+/// constraints from a shared queue (work stealing over a suite whose
+/// per-constraint costs vary by orders of magnitude) and each owns a
+/// private TermManager clone — \p Manager is only read during the run.
+/// Records land at their constraint's suite index, so record order and
+/// every order-sensitive aggregate (summarize's geomeans) match the
+/// sequential evaluator; only wall-clock changes. Jobs <= 1 runs the
+/// sequential evaluator; 0 means one job per hardware thread.
+std::vector<EvalRecord>
+evaluateSuiteParallel(TermManager &Manager,
+                      const std::vector<GeneratedConstraint> &Suite,
+                      SolverBackend &Backend, const EvalOptions &Options,
+                      unsigned Jobs);
+
 /// One STAUB configuration for a multi-config sweep (Table 3's STAUB /
 /// Fixed 8-bit / Fixed 16-bit / SLOT columns).
 struct EvalConfig {
@@ -98,6 +112,16 @@ evaluateSuiteConfigs(TermManager &Manager,
                      const std::vector<GeneratedConstraint> &Suite,
                      SolverBackend &Backend, double TimeoutSeconds,
                      const std::vector<EvalConfig> &Configs);
+
+/// Parallel evaluateSuiteConfigs; same worker-pool and determinism
+/// contract as evaluateSuiteParallel (all configs of one constraint run
+/// on the same worker, against the same original-lane measurement).
+std::vector<std::vector<EvalRecord>>
+evaluateSuiteConfigsParallel(TermManager &Manager,
+                             const std::vector<GeneratedConstraint> &Suite,
+                             SolverBackend &Backend, double TimeoutSeconds,
+                             const std::vector<EvalConfig> &Configs,
+                             unsigned Jobs);
 
 /// Aggregates records, optionally restricted to those with TPre within
 /// [MinPre, Timeout] (the paper's T_pre interval rows in Table 3).

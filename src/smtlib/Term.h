@@ -288,6 +288,30 @@ private:
   std::unordered_map<size_t, std::vector<uint32_t>> FpConstIndex;
 };
 
+/// Deep-copies terms from one manager into another. Used wherever work is
+/// handed to another thread (racing portfolio, parallel suite evaluation):
+/// TermManager is not thread-safe, so each thread owns a clone.
+///
+/// The cache persists across clone() calls, so cloning many roots that
+/// share structure (a whole benchmark suite) does each DAG node once.
+/// Iterative over an explicit worklist: deep unbalanced DAGs that would
+/// blow the native stack under naive recursion clone fine.
+class TermCloner {
+public:
+  TermCloner(const TermManager &Src, TermManager &Dst)
+      : Src(Src), Dst(Dst) {}
+
+  /// Returns the copy of \p T in the destination manager.
+  Term clone(Term T);
+
+private:
+  const TermManager &Src;
+  TermManager &Dst;
+  std::unordered_map<uint32_t, Term> Cache;
+
+  Term cloneLeaf(Term T);
+};
+
 } // namespace staub
 
 #endif // STAUB_SMTLIB_TERM_H

@@ -719,3 +719,68 @@ std::vector<Term> TermManager::collectVariables(Term Root) const {
   }
   return Vars;
 }
+
+//===--------------------------------------------------------------------===//
+// Cross-manager cloning.
+//===--------------------------------------------------------------------===//
+
+Term TermCloner::cloneLeaf(Term T) {
+  switch (Src.kind(T)) {
+  case Kind::ConstBool:
+    return Dst.mkBoolConst(Src.boolValue(T));
+  case Kind::ConstInt:
+    return Dst.mkIntConst(Src.intValue(T));
+  case Kind::ConstReal:
+    return Dst.mkRealConst(Src.realValue(T));
+  case Kind::ConstBitVec:
+    return Dst.mkBitVecConst(Src.bitVecValue(T));
+  case Kind::ConstFp:
+    return Dst.mkFpConst(Src.fpValue(T));
+  case Kind::Variable:
+    return Dst.mkVariable(Src.variableName(T), Src.sort(T));
+  default:
+    assert(false && "not a leaf");
+    return Term();
+  }
+}
+
+Term TermCloner::clone(Term T) {
+  auto Found = Cache.find(T.id());
+  if (Found != Cache.end())
+    return Found->second;
+
+  // Post-order over an explicit worklist: a node stays on the stack until
+  // all its children are cached, then is built in one mkApp.
+  std::vector<Term> Stack = {T};
+  std::vector<Term> Children;
+  while (!Stack.empty()) {
+    Term Cur = Stack.back();
+    if (Cache.count(Cur.id())) {
+      Stack.pop_back();
+      continue;
+    }
+    if (Src.numChildren(Cur) == 0) {
+      Cache.emplace(Cur.id(), cloneLeaf(Cur));
+      Stack.pop_back();
+      continue;
+    }
+    bool Ready = true;
+    for (Term Child : Src.children(Cur))
+      if (!Cache.count(Child.id())) {
+        if (Ready) // First missing child decides: revisit Cur later.
+          Ready = false;
+        Stack.push_back(Child);
+      }
+    if (!Ready)
+      continue;
+    Children.clear();
+    for (Term Child : Src.children(Cur))
+      Children.push_back(Cache.at(Child.id()));
+    // children() aliases Src storage only; Dst.mkApp can't invalidate it.
+    Cache.emplace(Cur.id(),
+                  Dst.mkApp(Src.kind(Cur), Children, Src.paramA(Cur),
+                            Src.paramB(Cur)));
+    Stack.pop_back();
+  }
+  return Cache.at(T.id());
+}

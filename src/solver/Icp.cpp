@@ -515,6 +515,8 @@ bool IcpSolver::enumerateIntegerBox(const Box &B, uint64_t Limit,
   // Odometer enumeration.
   std::vector<uint64_t> Digits(B.size(), 0);
   for (uint64_t N = 0; N < Count; ++N) {
+    if ((N & 63) == 0 && stopRequested(Cancel))
+      return false;
     std::vector<Rational> Point;
     Point.reserve(B.size());
     for (size_t I = 0; I < B.size(); ++I)
@@ -573,6 +575,7 @@ bool IcpSolver::sampleBox(const Box &B, Model &Out) const {
 SolveResult IcpSolver::solve(const IcpOptions &Options) {
   WallTimer Timer;
   SolveResult Result;
+  Cancel = Options.Cancel;
 
   // Degenerate case: no variables.
   if (Variables.empty()) {
@@ -610,7 +613,8 @@ SolveResult IcpSolver::solve(const IcpOptions &Options) {
     Work.push_back(Root);
     while (!Work.empty()) {
       if (++Nodes > Options.MaxNodes ||
-          Timer.elapsedSeconds() > Options.TimeoutSeconds) {
+          Timer.elapsedSeconds() > Options.TimeoutSeconds ||
+          stopRequested(Cancel)) {
         Result.Status = SolveStatus::Unknown;
         Result.TimeSeconds = Timer.elapsedSeconds();
         return Result;

@@ -73,6 +73,8 @@ struct IcpOptions {
   unsigned InitialBoundLog = 8;      ///< First deepening box: [-2^k, 2^k].
   unsigned MaxBoundLog = 32;         ///< Last deepening box.
   uint64_t EnumerationLimit = 4096;  ///< Max integer points per small box.
+  /// Cooperative cancellation, polled once per branch-and-prune node.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Branch-and-prune solver for a conjunction of assertions whose
@@ -89,6 +91,9 @@ private:
   Term Conjunction;
   std::vector<Term> Variables;
   bool IntegerMode = false;
+  /// Active token for the running solve() (also polled inside the integer
+  /// point enumeration, whose boxes can hold thousands of candidates).
+  const CancellationToken *Cancel = nullptr;
 
   /// A box: one interval per variable (indexed like Variables).
   using Box = std::vector<Interval>;

@@ -300,7 +300,7 @@ void Simplex::pivot(unsigned BasicVar, unsigned NonbasicVar) {
   }
 }
 
-bool Simplex::check(uint64_t PivotBudget) {
+bool Simplex::check(uint64_t PivotBudget, const CancellationToken *Cancel) {
   Exhausted = false;
   if (Conflict)
     return false;
@@ -328,7 +328,12 @@ bool Simplex::check(uint64_t PivotBudget) {
     if (Violating == UINT32_MAX)
       return true; // Feasible.
 
-    if (PivotBudget && ++Pivots > PivotBudget) {
+    // Pivots over exact rationals are expensive enough that polling the
+    // token every 16 of them is noise; a cancelled check is "exhausted"
+    // (unknown), never a refutation.
+    ++Pivots;
+    if ((PivotBudget && Pivots > PivotBudget) ||
+        ((Pivots & 15) == 0 && Cancel && Cancel->shouldStop())) {
       Exhausted = true;
       return false;
     }

@@ -17,6 +17,7 @@
 #define STAUB_SOLVER_LINEARARITH_H
 
 #include "smtlib/Term.h"
+#include "support/Cancellation.h"
 #include "support/Rational.h"
 
 #include <map>
@@ -92,8 +93,11 @@ public:
 
   /// Runs the simplex; returns true if the asserted set is feasible over
   /// the rationals. \p PivotBudget bounds work (0 = unlimited); exceeding
-  /// it reports feasibility failure through exhausted().
-  bool check(uint64_t PivotBudget = 0);
+  /// it reports feasibility failure through exhausted(). \p Cancel, when
+  /// given, is polled every few pivots and aborts the same way (the check
+  /// counts as exhausted, never as a refutation).
+  bool check(uint64_t PivotBudget = 0,
+             const CancellationToken *Cancel = nullptr);
 
   /// True if the last check() aborted on budget rather than deciding.
   bool exhausted() const { return Exhausted; }

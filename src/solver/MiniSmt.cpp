@@ -274,16 +274,19 @@ private:
   }
 };
 
-/// Bounds how long one SAT call may run, derived from the wall deadline.
+/// Bounds how long one SAT call may run, derived from the wall deadline
+/// and the caller's cancellation token.
 SatStatus solveSatWithDeadline(SatSolver &Solver, WallTimer &Timer,
-                               double TimeoutSeconds) {
+                               double TimeoutSeconds,
+                               const CancellationToken *Cancel) {
   for (;;) {
     SatBudget Chunk;
     Chunk.MaxConflicts = 2000;
+    Chunk.Cancel = Cancel;
     SatStatus Status = Solver.solve(Chunk);
     if (Status != SatStatus::Unknown)
       return Status;
-    if (Timer.elapsedSeconds() > TimeoutSeconds)
+    if (Timer.elapsedSeconds() > TimeoutSeconds || stopRequested(Cancel))
       return SatStatus::Unknown;
   }
 }
@@ -310,7 +313,7 @@ private:
   SolveStatus branchAndBound(Simplex &S,
                              const std::vector<unsigned> &IntVars,
                              unsigned Depth, WallTimer &Timer,
-                             double Deadline,
+                             double Deadline, const CancellationToken *Cancel,
                              std::vector<Rational> &ModelOut);
 };
 
@@ -329,7 +332,8 @@ SolveResult MiniSmtSolver::solveBitVec(TermManager &Manager,
   for (Term Assertion : Assertions)
     Blaster.assertTrue(Assertion);
 
-  SatStatus Status = solveSatWithDeadline(Sat, Timer, Options.TimeoutSeconds);
+  SatStatus Status = solveSatWithDeadline(Sat, Timer, Options.TimeoutSeconds,
+                                          Options.Cancel);
   Result.TimeSeconds = Timer.elapsedSeconds();
   switch (Status) {
   case SatStatus::Sat:
@@ -350,10 +354,12 @@ SolveStatus MiniSmtSolver::branchAndBound(Simplex &S,
                                           const std::vector<unsigned> &IntVars,
                                           unsigned Depth, WallTimer &Timer,
                                           double Deadline,
+                                          const CancellationToken *Cancel,
                                           std::vector<Rational> &ModelOut) {
-  if (Timer.elapsedSeconds() > Deadline || Depth > 64)
+  if (Timer.elapsedSeconds() > Deadline || Depth > 64 ||
+      stopRequested(Cancel))
     return SolveStatus::Unknown;
-  if (!S.check(/*PivotBudget=*/100000))
+  if (!S.check(/*PivotBudget=*/100000, Cancel))
     return S.exhausted() ? SolveStatus::Unknown : SolveStatus::Unsat;
 
   // Find a fractional integer variable.
@@ -384,7 +390,7 @@ SolveStatus MiniSmtSolver::branchAndBound(Simplex &S,
     if (Left.assertConstraint(Expr, Rational(Floor).negated(),
                               Simplex::Relation::Le)) {
       SolveStatus Status = branchAndBound(Left, IntVars, Depth + 1, Timer,
-                                          Deadline, ModelOut);
+                                          Deadline, Cancel, ModelOut);
       if (Status == SolveStatus::Sat)
         return Status;
       if (Status == SolveStatus::Unknown)
@@ -400,7 +406,7 @@ SolveStatus MiniSmtSolver::branchAndBound(Simplex &S,
                                Rational(Floor + BigInt(1)).negated(),
                                Simplex::Relation::Ge)) {
       SolveStatus Status = branchAndBound(Right, IntVars, Depth + 1, Timer,
-                                          Deadline, ModelOut);
+                                          Deadline, Cancel, ModelOut);
       if (Status == SolveStatus::Sat)
         return Status;
       if (Status == SolveStatus::Unknown)
@@ -473,12 +479,14 @@ SolveResult MiniSmtSolver::solveLinearArith(TermManager &Manager,
 
   // DPLL(T) loop with naive blocking clauses.
   for (;;) {
-    if (Timer.elapsedSeconds() > Options.TimeoutSeconds) {
+    if (Timer.elapsedSeconds() > Options.TimeoutSeconds ||
+        stopRequested(Options.Cancel)) {
       Result.Status = SolveStatus::Unknown;
       break;
     }
-    SatStatus Status =
-        solveSatWithDeadline(Sat, Timer, Options.TimeoutSeconds);
+    SatStatus Status = solveSatWithDeadline(Sat, Timer,
+                                            Options.TimeoutSeconds,
+                                            Options.Cancel);
     if (Status == SatStatus::Unsat) {
       Result.Status = SolveStatus::Unsat;
       break;
@@ -539,10 +547,11 @@ SolveResult MiniSmtSolver::solveLinearArith(TermManager &Manager,
     if (ImmediateConflict) {
       TheoryStatus = SolveStatus::Unsat;
     } else if (IsInt) {
-      TheoryStatus = branchAndBound(S, SimplexVars, 0, Timer,
-                                    Options.TimeoutSeconds, IntModel);
+      TheoryStatus =
+          branchAndBound(S, SimplexVars, 0, Timer, Options.TimeoutSeconds,
+                         Options.Cancel, IntModel);
     } else {
-      if (!S.check(/*PivotBudget=*/200000))
+      if (!S.check(/*PivotBudget=*/200000, Options.Cancel))
         TheoryStatus =
             S.exhausted() ? SolveStatus::Unknown : SolveStatus::Unsat;
       else
@@ -745,6 +754,7 @@ SolveResult MiniSmtSolver::solveFp(TermManager &Manager,
   IcpOptions IcpOpts;
   IcpOpts.TimeoutSeconds =
       std::max(0.1, Options.TimeoutSeconds - Timer.elapsedSeconds());
+  IcpOpts.Cancel = Options.Cancel;
   SolveResult RealResult = Icp.solve(IcpOpts);
   if (RealResult.Status == SolveStatus::Sat) {
     std::vector<SoftFloat> Rounded;
@@ -793,6 +803,7 @@ SolveResult MiniSmtSolver::solve(TermManager &Manager,
   IcpSolver Icp(Manager, Assertions);
   IcpOptions IcpOpts;
   IcpOpts.TimeoutSeconds = Options.TimeoutSeconds;
+  IcpOpts.Cancel = Options.Cancel;
   SolveResult Result = Icp.solve(IcpOpts);
   Result.TimeSeconds = Timer.elapsedSeconds();
   return Result;

@@ -367,6 +367,10 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
   uint64_t PropagationsAtStart = Propagations;
   std::vector<Lit> Learnt;
   uint64_t RestartNumber = 0;
+  // Cancellation is polled every StepMask+1 conflicts-or-decisions: one
+  // relaxed atomic load per batch keeps the hot loop overhead below 1%.
+  constexpr uint64_t StepMask = 63;
+  uint64_t Steps = 0;
 
   for (;;) {
     uint64_t RestartLimit = 100 * luby(RestartNumber++);
@@ -396,7 +400,9 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
         }
         decayActivities();
         if (Conflicts - ConflictsAtStart >= Budget.MaxConflicts ||
-            Propagations - PropagationsAtStart >= Budget.MaxPropagations) {
+            Propagations - PropagationsAtStart >= Budget.MaxPropagations ||
+            ((++Steps & StepMask) == 0 && Budget.Cancel &&
+             Budget.Cancel->shouldStop())) {
           backtrack(0);
           return SatStatus::Unknown;
         }
@@ -417,6 +423,13 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
         if (V == LBool::Undef)
           enqueue(Assumption, -1);
         continue;
+      }
+      // Sat-leaning instances can run long decision streaks with few
+      // conflicts; poll cancellation on this side of the loop too.
+      if ((++Steps & StepMask) == 0 && Budget.Cancel &&
+          Budget.Cancel->shouldStop()) {
+        backtrack(0);
+        return SatStatus::Unknown;
       }
       Lit Decision = pickDecision();
       if (!Decision.var())

@@ -18,6 +18,8 @@
 #ifndef STAUB_SOLVER_SAT_H
 #define STAUB_SOLVER_SAT_H
 
+#include "support/Cancellation.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -60,6 +62,9 @@ enum class SatStatus { Sat, Unsat, Unknown };
 struct SatBudget {
   uint64_t MaxConflicts = UINT64_MAX;
   uint64_t MaxPropagations = UINT64_MAX;
+  /// Cooperative cancellation, polled every CancelCheckPeriod conflicts
+  /// and decisions so the CDCL hot loop stays branch-predictable.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// CDCL solver. Usage: newVar() for each variable, addClause(), solve().

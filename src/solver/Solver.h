@@ -17,6 +17,7 @@
 #define STAUB_SOLVER_SOLVER_H
 
 #include "smtlib/Term.h"
+#include "support/Cancellation.h"
 #include "theory/Evaluator.h"
 
 #include <memory>
@@ -46,6 +47,11 @@ inline std::string_view toString(SolveStatus Status) {
 /// paper counts solver timeouts.
 struct SolverOptions {
   double TimeoutSeconds = 5.0;
+  /// Optional cooperative cancellation (not owned; must outlive the solve
+  /// call). Backends poll it at coarse-grained points and return Unknown
+  /// promptly once it fires — the racing portfolio's first-result-wins
+  /// semantics depend on this.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Result of a solve call. TheModel is meaningful only when Status is Sat.

@@ -196,49 +196,6 @@ PortfolioResult staub::runPortfolioMeasured(
   return Result;
 }
 
-namespace {
-
-/// Deep-copies a term into another manager (for the racing portfolio,
-/// where the two lanes must not share a TermManager across threads).
-Term copyTerm(const TermManager &Src, Term T, TermManager &Dst,
-              std::unordered_map<uint32_t, Term> &Cache) {
-  auto Found = Cache.find(T.id());
-  if (Found != Cache.end())
-    return Found->second;
-  Term Result;
-  switch (Src.kind(T)) {
-  case Kind::ConstBool:
-    Result = Dst.mkBoolConst(Src.boolValue(T));
-    break;
-  case Kind::ConstInt:
-    Result = Dst.mkIntConst(Src.intValue(T));
-    break;
-  case Kind::ConstReal:
-    Result = Dst.mkRealConst(Src.realValue(T));
-    break;
-  case Kind::ConstBitVec:
-    Result = Dst.mkBitVecConst(Src.bitVecValue(T));
-    break;
-  case Kind::ConstFp:
-    Result = Dst.mkFpConst(Src.fpValue(T));
-    break;
-  case Kind::Variable:
-    Result = Dst.mkVariable(Src.variableName(T), Src.sort(T));
-    break;
-  default: {
-    std::vector<Term> Children;
-    for (Term Child : Src.childrenCopy(T))
-      Children.push_back(copyTerm(Src, Child, Dst, Cache));
-    Result = Dst.mkApp(Src.kind(T), Children, Src.paramA(T), Src.paramB(T));
-    break;
-  }
-  }
-  Cache.emplace(T.id(), Result);
-  return Result;
-}
-
-} // namespace
-
 PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
                                           const std::vector<Term> &Assertions,
                                           SolverBackend &Backend,
@@ -251,22 +208,38 @@ PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
   TermManager CloneManager;
   std::vector<Term> CloneAssertions;
   {
-    std::unordered_map<uint32_t, Term> Cache;
+    TermCloner Cloner(Manager, CloneManager);
     for (Term Assertion : Assertions)
-      CloneAssertions.push_back(
-          copyTerm(Manager, Assertion, CloneManager, Cache));
+      CloneAssertions.push_back(Cloner.clone(Assertion));
   }
 
+  // First result wins: whichever lane finishes with a decisive answer
+  // fires the other lane's token, so the loser stops within one poll
+  // interval instead of running out its timeout. A cancelled lane reports
+  // Unknown with its time-at-cancel.
+  CancellationToken CancelOriginal;
+  CancellationToken CancelStaub;
+
+  // Written by the lane thread, read only after join().
   SolveResult Original;
   double OriginalDone = 0.0;
   std::thread OriginalLane([&] {
-    Original = Backend.solve(CloneManager, CloneAssertions, Options.Solve);
+    SolverOptions LaneOptions = Options.Solve;
+    LaneOptions.Cancel = &CancelOriginal;
+    Original = Backend.solve(CloneManager, CloneAssertions, LaneOptions);
     OriginalDone = Timer.elapsedSeconds();
+    if (Original.Status != SolveStatus::Unknown)
+      CancelStaub.cancel();
   });
 
+  StaubOptions StaubOptionsWithCancel = Options;
+  StaubOptionsWithCancel.Solve.Cancel = &CancelStaub;
   StaubOutcome Staub =
-      runStaub(Manager, Assertions, Backend, Options, nullptr);
+      runStaub(Manager, Assertions, Backend, StaubOptionsWithCancel, nullptr);
   double StaubDone = Timer.elapsedSeconds();
+  bool StaubDecided = Staub.Path == StaubPath::VerifiedSat;
+  if (StaubDecided)
+    CancelOriginal.cancel();
   OriginalLane.join();
 
   Result.Staub = Staub;
@@ -274,7 +247,6 @@ PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
   Result.StaubSeconds = Staub.totalSeconds();
 
   bool OriginalDecided = Original.Status != SolveStatus::Unknown;
-  bool StaubDecided = Staub.Path == StaubPath::VerifiedSat;
   if (StaubDecided && (!OriginalDecided || StaubDone <= OriginalDone)) {
     Result.Status = SolveStatus::Sat;
     Result.TheModel = Staub.VerifiedModel;

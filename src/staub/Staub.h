@@ -110,7 +110,11 @@ runPortfolioMeasured(TermManager &Manager, const std::vector<Term> &Assertions,
                          nullptr);
 
 /// Racing portfolio: runs the two lanes on two threads and returns the
-/// first decisive answer (the deployment configuration).
+/// first decisive answer (the deployment configuration). The winning lane
+/// cancels the other through its CancellationToken, so the call returns as
+/// soon as the loser observes the token (typically well under 100ms)
+/// instead of waiting out the loser's timeout. The cancelled lane reports
+/// Unknown with its wall time at cancellation.
 PortfolioResult runPortfolioRacing(TermManager &Manager,
                                    const std::vector<Term> &Assertions,
                                    SolverBackend &Backend,

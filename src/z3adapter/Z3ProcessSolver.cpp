@@ -168,10 +168,15 @@ public:
     char Chunk[4096];
     for (;;) {
       double Remaining = Deadline - Timer.elapsedSeconds();
-      if (Remaining <= 0)
+      if (Remaining <= 0 || stopRequested(Options.Cancel))
         break;
+      // With a cancellation token, cap each poll so the token is observed
+      // within ~20ms; otherwise sleep until the deadline.
+      int PollMs = static_cast<int>(Remaining * 1000) + 1;
+      if (Options.Cancel)
+        PollMs = std::min(PollMs, 20);
       struct pollfd Pfd = {Pipe[0], POLLIN, 0};
-      int Ready = poll(&Pfd, 1, static_cast<int>(Remaining * 1000) + 1);
+      int Ready = poll(&Pfd, 1, PollMs);
       if (Ready <= 0)
         continue; // Timeout or EINTR: loop re-checks the deadline.
       ssize_t N = read(Pipe[0], Chunk, sizeof(Chunk));

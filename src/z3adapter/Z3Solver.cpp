@@ -475,13 +475,15 @@ public:
     }
 
     // Watchdog: some tactics in this Z3 build ignore the soft timeout;
-    // interrupt the solver once the deadline passes.
+    // interrupt the solver once the deadline passes or the caller's
+    // cancellation token fires.
     std::atomic<bool> CheckDone{false};
     std::thread Watchdog([&] {
       double Deadline = Options.TimeoutSeconds;
       WallTimer WatchTimer;
       while (!CheckDone.load(std::memory_order_acquire)) {
-        if (WatchTimer.elapsedSeconds() > Deadline + 0.05) {
+        if (WatchTimer.elapsedSeconds() > Deadline + 0.05 ||
+            stopRequested(Options.Cancel)) {
           Z3_solver_interrupt(Ctx, Solver);
           return;
         }

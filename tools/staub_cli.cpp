@@ -21,6 +21,8 @@
 ///   --root-width          use the abstract interpretation root width
 ///   --emit-bounded        print the transformed constraint, do not solve
 ///   --timeout=SECONDS     per-solve budget (default 30)
+///   --jobs=N              threads for --portfolio (default 2; 1 runs the
+///                         lanes back to back on the calling thread)
 ///   --stats               print timing decomposition
 ///
 //===----------------------------------------------------------------------===//
@@ -50,14 +52,15 @@ struct CliOptions {
   bool Stats = false;
   std::optional<unsigned> FixedWidth;
   double TimeoutSeconds = 30.0;
+  unsigned Jobs = 2;
 };
 
 void printUsage() {
   std::fprintf(
       stderr,
       "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
-      "             [--root-width] [--emit-bounded] [--timeout=S] [--stats]\n"
-      "             [file.smt2]\n");
+      "             [--root-width] [--emit-bounded] [--timeout=S] [--jobs=N]\n"
+      "             [--stats] [file.smt2]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -91,6 +94,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         std::fprintf(stderr, "error: bad timeout '%s'\n", Arg.c_str());
         return false;
       }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      int Jobs = std::atoi(Arg.c_str() + 7);
+      if (Jobs < 1) {
+        std::fprintf(stderr, "error: bad job count '%s'\n", Arg.c_str());
+        return false;
+      }
+      Options.Jobs = static_cast<unsigned>(Jobs);
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      int Jobs = std::atoi(Argv[++I]);
+      if (Jobs < 1) {
+        std::fprintf(stderr, "error: bad job count '%s'\n", Argv[I]);
+        return false;
+      }
+      Options.Jobs = static_cast<unsigned>(Jobs);
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       std::exit(0);
@@ -178,8 +195,12 @@ int main(int Argc, char **Argv) {
                                                : createMiniSmtSolver();
 
   if (Cli.Portfolio) {
+    // --jobs=1 runs both lanes sequentially on this thread (the measured
+    // portfolio); >=2 races them with cooperative cancellation.
     PortfolioResult R =
-        runPortfolioRacing(Manager, Assertions, *Backend, Options);
+        Cli.Jobs <= 1
+            ? runPortfolioMeasured(Manager, Assertions, *Backend, Options)
+            : runPortfolioRacing(Manager, Assertions, *Backend, Options);
     std::printf("%s\n", std::string(toString(R.Status)).c_str());
     if (Cli.Stats)
       std::fprintf(stderr,
