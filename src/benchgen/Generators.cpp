@@ -8,6 +8,7 @@
 
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace staub;
@@ -68,6 +69,11 @@ GeneratedConstraint sumOfCubes(TermManager &M, unsigned Instance,
     int64_t C = Rng.range(0, Limit);
     Target = A * A * A + B * B * B + C * C * C;
     Out.Expected = SolveStatus::Sat;
+    Model Witness;
+    Witness.set(X, Value(BigInt(A)));
+    Witness.set(Y, Value(BigInt(B)));
+    Witness.set(Z, Value(BigInt(C)));
+    Out.Planted = std::move(Witness);
   } else {
     // n = 4 or 5 (mod 9) has no sum-of-three-cubes representation.
     int64_t Base = Rng.range(1, int64_t(1) << (MaxBits - 1));
@@ -114,6 +120,10 @@ GeneratedConstraint plantedPolynomial(TermManager &M, unsigned Instance,
   if (WantSat) {
     Out.Expected = SolveStatus::Sat;
     Out.Assertions.push_back(M.mkEq(Poly, intConst(M, Value)));
+    Model Witness;
+    Witness.set(X, staub::Value(BigInt(A)));
+    Witness.set(Y, staub::Value(BigInt(B)));
+    Out.Planted = std::move(Witness);
   } else {
     // x^2 + k x y + y^2 >= -|k| (x y) ... instead force p(x,y) < 0 with
     // |k| <= 2, where the form is positive semidefinite: unsat.
@@ -146,6 +156,10 @@ GeneratedConstraint factoring(TermManager &M, unsigned Instance,
     int64_t Q = Rng.range(2, Limit);
     N = P * Q;
     Out.Expected = SolveStatus::Sat;
+    Model Witness;
+    Witness.set(X, Value(BigInt(std::min(P, Q))));
+    Witness.set(Y, Value(BigInt(std::max(P, Q))));
+    Out.Planted = std::move(Witness);
   } else {
     static const int64_t Primes[] = {101, 211, 307, 401, 503, 601, 701,
                                      809, 907, 1009, 1103, 1201};
@@ -216,6 +230,11 @@ GeneratedConstraint linearSystem(TermManager &M, unsigned Instance,
     }
     // One equality pins the planted point's neighborhood.
     Out.Assertions.push_back(M.mkEq(Vars[0], MakeConst(Planted[0])));
+    Model Witness;
+    for (unsigned I = 0; I < NumVars; ++I)
+      Witness.set(Vars[I], IsInt ? Value(BigInt(Planted[I]))
+                                 : Value(Rational(Planted[I])));
+    Out.Planted = std::move(Witness);
   } else {
     Out.Expected = SolveStatus::Unsat;
     // e >= c and -e >= 1 - c: adding them gives 0 >= 1.
@@ -273,6 +292,10 @@ GeneratedConstraint conic(TermManager &M, unsigned Instance, SplitMix64 &Rng,
         M.mkEq(Circle, realConst(M, A * A + B * B, 4)));
     Out.Assertions.push_back(
         M.mkCompare(Kind::Le, X, realConst(M, A, 2)));
+    Model Witness;
+    Witness.set(X, Value(Rational(BigInt(A), BigInt(2))));
+    Witness.set(Y, Value(Rational(BigInt(B), BigInt(2))));
+    Out.Planted = std::move(Witness);
   } else {
     Out.Expected = SolveStatus::Unsat;
     // x^2 + y^2 + 1 <= 0.
@@ -335,6 +358,11 @@ GeneratedConstraint staub::motivatingExample(TermManager &M) {
   Term Sum = M.mkAdd(std::vector<Term>{power(M, X, 3), power(M, Y, 3),
                                        power(M, Z, 3)});
   Out.Assertions.push_back(M.mkEq(Sum, M.mkIntConst(BigInt(855))));
+  Model Witness; // 855 = 7^3 + 8^3 + 0^3.
+  Witness.set(X, Value(BigInt(7)));
+  Witness.set(Y, Value(BigInt(8)));
+  Witness.set(Z, Value(BigInt(0)));
+  Out.Planted = std::move(Witness);
   return Out;
 }
 

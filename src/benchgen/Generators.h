@@ -44,6 +44,11 @@ struct GeneratedConstraint {
   /// Ground truth when the generator planted it; nullopt for genuinely
   /// open instances.
   std::optional<SolveStatus> Expected;
+  /// The planted satisfying assignment for planted-sat instances (keyed by
+  /// this constraint's variables in the generating manager). Metamorphic
+  /// mutators use it to build model-preserving rewrites and to check that
+  /// a mutation did not lose the planted witness.
+  std::optional<Model> Planted;
 };
 
 /// The four logics of the evaluation.

@@ -1,0 +1,180 @@
+//===- fuzz/Corpus.cpp - Reproducer corpus --------------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "smtlib/Parser.h"
+#include "smtlib/Printer.h"
+#include "staub/WidthReduction.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+using namespace staub;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Distinct variables over all assertions, first-occurrence order.
+std::vector<Term> allVariables(const TermManager &Manager,
+                               const std::vector<Term> &Assertions) {
+  std::vector<Term> Vars;
+  std::vector<bool> Seen;
+  for (Term Assertion : Assertions)
+    for (Term V : Manager.collectVariables(Assertion)) {
+      if (V.id() >= Seen.size())
+        Seen.resize(V.id() + 1, false);
+      if (!Seen[V.id()]) {
+        Seen[V.id()] = true;
+        Vars.push_back(V);
+      }
+    }
+  return Vars;
+}
+
+std::string guessLogic(const TermManager &Manager,
+                       const std::vector<Term> &Vars) {
+  bool HasReal = false, HasBv = false, HasFp = false;
+  for (Term V : Vars) {
+    Sort S = Manager.sort(V);
+    HasReal |= S.isReal();
+    HasBv |= S.isBitVec();
+    HasFp |= S.isFloatingPoint();
+  }
+  if (HasFp)
+    return "QF_FP";
+  if (HasBv)
+    return "QF_BV";
+  if (HasReal)
+    return "QF_NRA";
+  return "QF_NIA";
+}
+
+/// Keeps only [a-z0-9-] so property names make safe file names.
+std::string sanitize(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-')
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(C)))
+               : '-';
+  return Out.empty() ? std::string("violation") : Out;
+}
+
+} // namespace
+
+std::string staub::renderCorpusScript(const TermManager &Manager,
+                                      const std::vector<Term> &Assertions,
+                                      const std::string &Property,
+                                      const std::string &Detail,
+                                      uint64_t Seed) {
+  Script S;
+  S.Variables = allVariables(Manager, Assertions);
+  S.Assertions = Assertions;
+  S.Logic = guessLogic(Manager, S.Variables);
+  S.HasCheckSat = true;
+  std::string Text;
+  Text += "; staub-fuzz reproducer\n";
+  Text += "; property: " + Property + "\n";
+  if (!Detail.empty())
+    Text += "; detail: " + Detail + "\n";
+  Text += "; seed: " + std::to_string(Seed) + "\n";
+  Text += printScript(Manager, S);
+  return Text;
+}
+
+CorpusWriteResult staub::writeCorpusEntry(const std::string &Dir,
+                                          const std::string &Property,
+                                          uint64_t Seed,
+                                          const std::string &Text) {
+  CorpusWriteResult Result;
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    Result.Error = "cannot create " + Dir + ": " + Ec.message();
+    return Result;
+  }
+  std::string Stem = sanitize(Property) + "-" + std::to_string(Seed);
+  fs::path Path = fs::path(Dir) / (Stem + ".smt2");
+  for (unsigned Suffix = 2; fs::exists(Path); ++Suffix)
+    Path = fs::path(Dir) / (Stem + "-" + std::to_string(Suffix) + ".smt2");
+  std::ofstream Out(Path);
+  if (!Out) {
+    Result.Error = "cannot open " + Path.string();
+    return Result;
+  }
+  Out << Text;
+  Out.close();
+  Result.Ok = true;
+  Result.Path = Path.string();
+  return Result;
+}
+
+std::vector<std::string> staub::listCorpusFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".smt2")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+CorpusReplayResult staub::replayCorpusFile(const std::string &Path,
+                                           double SolveTimeoutSeconds) {
+  CorpusReplayResult Result;
+  Result.Path = Path;
+  TermManager Manager;
+  ParseResult Parsed = parseSmtLibFile(Manager, Path);
+  if (!Parsed.Ok) {
+    Result.Error = Parsed.Error;
+    return Result;
+  }
+  Result.ParseOk = true;
+
+  bool HasReal = false, HasBv = false, HasFp = false;
+  for (Term V : Parsed.Parsed.Variables) {
+    Sort S = Manager.sort(V);
+    HasReal |= S.isReal();
+    HasBv |= S.isBitVec();
+    HasFp |= S.isFloatingPoint();
+  }
+  auto Backend = createMiniSmtSolver();
+  const std::vector<Term> &Assertions = Parsed.Parsed.Assertions;
+
+  if (HasBv || HasFp) {
+    // Already-bounded reproducers exercise the width-reduction lane: it
+    // must never contradict a direct solve, and its models must verify.
+    SolverOptions SOpts;
+    SOpts.TimeoutSeconds = SolveTimeoutSeconds;
+    SolveResult Narrow =
+        runWidthReduction(Manager, Assertions, *Backend, SOpts);
+    if (Narrow.Status == SolveStatus::Sat) {
+      std::optional<Value> V;
+      bool Holds = true;
+      for (Term A : Assertions) {
+        V = evaluate(Manager, A, Narrow.TheModel);
+        Holds = Holds && V && V->isBool() && V->asBool();
+      }
+      SolveResult Direct = Backend->solve(Manager, Assertions, SOpts);
+      if (!Holds || Direct.Status == SolveStatus::Unsat)
+        Result.TheViolation =
+            Violation{"width-reduction-stability",
+                      "replay: narrow lane contradicts the wide constraint",
+                      Assertions};
+    }
+    return Result;
+  }
+
+  FuzzInstance Instance;
+  Instance.Name = fs::path(Path).filename().string();
+  Instance.Assertions = Assertions;
+  OracleOptions Options;
+  Options.Theory = HasReal ? FuzzTheory::Real : FuzzTheory::Int;
+  Options.SolveTimeoutSeconds = SolveTimeoutSeconds;
+  Result.TheViolation = runStageOracles(Manager, Instance, *Backend, Options);
+  return Result;
+}

@@ -1,0 +1,68 @@
+//===- fuzz/Corpus.h - Reproducer corpus ------------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for shrunk reproducers: every violation the fuzzer finds is
+/// rendered as a standalone SMT-LIB script (with a comment header naming
+/// the violated property and the seed) and written under tests/corpus/.
+/// The corpus_regression_test replays every checked-in file through the
+/// stage oracles on each CTest run, so a once-found bug stays fixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_FUZZ_CORPUS_H
+#define STAUB_FUZZ_CORPUS_H
+
+#include "fuzz/Oracles.h"
+
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// Renders a reproducer as a standalone SMT-LIB script with a provenance
+/// header (`; property: ...`, `; seed: ...`). The logic is inferred from
+/// the sorts in the constraint.
+std::string renderCorpusScript(const TermManager &Manager,
+                               const std::vector<Term> &Assertions,
+                               const std::string &Property,
+                               const std::string &Detail, uint64_t Seed);
+
+/// Result of writing one corpus entry.
+struct CorpusWriteResult {
+  bool Ok = false;
+  std::string Path;  ///< Final path (uniquified) when Ok.
+  std::string Error;
+};
+
+/// Writes \p Text under \p Dir as `<property>-<seed>.smt2`, creating the
+/// directory and uniquifying the name if taken.
+CorpusWriteResult writeCorpusEntry(const std::string &Dir,
+                                   const std::string &Property, uint64_t Seed,
+                                   const std::string &Text);
+
+/// All `.smt2` files under \p Dir, sorted by path (empty if the directory
+/// does not exist).
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+/// Outcome of replaying one corpus file.
+struct CorpusReplayResult {
+  std::string Path;
+  bool ParseOk = false;
+  std::string Error;                     ///< Parse error when !ParseOk.
+  std::optional<Violation> TheViolation; ///< Oracle violation, if any.
+};
+
+/// Parses \p Path and re-runs the stage oracles on it with a fresh MiniSMT
+/// backend. The theory is inferred from the declared sorts; bitvector
+/// files exercise the width-reduction lane instead of the unbounded
+/// pipeline. A clean result has ParseOk == true and no Violation.
+CorpusReplayResult replayCorpusFile(const std::string &Path,
+                                    double SolveTimeoutSeconds = 2.0);
+
+} // namespace staub
+
+#endif // STAUB_FUZZ_CORPUS_H

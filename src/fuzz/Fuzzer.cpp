@@ -1,0 +1,350 @@
+//===- fuzz/Fuzzer.cpp - Metamorphic/differential fuzzing engine ----------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Shrinker.h"
+#include "benchgen/Generators.h"
+#include "z3adapter/Z3Solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+using namespace staub;
+
+uint64_t staub::fuzzIterationSeed(uint64_t Seed, uint64_t Index) {
+  // One SplitMix64 step over a mix of the two inputs: adjacent indices get
+  // decorrelated streams, and the result depends on nothing else.
+  SplitMix64 Mixer(Seed ^ (Index * 0x9e3779b97f4a7c15ull) ^ 0x5851f42d4c957f2dull);
+  return Mixer.next();
+}
+
+namespace {
+
+/// Random constraint soup over Int: the generator family the benchgen
+/// suites do not cover (arbitrary operator mixes with no planted truth).
+FuzzInstance randomIntSoup(TermManager &M, SplitMix64 &Rng,
+                           const std::string &Prefix) {
+  FuzzInstance Instance;
+  Instance.Name = Prefix + "-int-soup";
+  std::vector<Term> Pool = {
+      M.mkVariable(Prefix + "_x", Sort::integer()),
+      M.mkVariable(Prefix + "_y", Sort::integer()),
+      M.mkIntConst(BigInt(Rng.range(-30, 30))),
+      M.mkIntConst(BigInt(Rng.range(0, 100)))};
+  if (Rng.chance(1, 3))
+    Pool.push_back(M.mkVariable(Prefix + "_z", Sort::integer()));
+  unsigned Ops = 4 + Rng.below(5);
+  for (unsigned I = 0; I < Ops; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    switch (Rng.below(5)) {
+    case 0:
+      Pool.push_back(M.mkAdd(std::vector<Term>{A, B}));
+      break;
+    case 1:
+      Pool.push_back(M.mkSub(std::vector<Term>{A, B}));
+      break;
+    case 2:
+      Pool.push_back(M.mkMul(std::vector<Term>{A, B}));
+      break;
+    case 3:
+      Pool.push_back(M.mkIntAbs(A));
+      break;
+    default:
+      Pool.push_back(M.mkNeg(A));
+      break;
+    }
+  }
+  unsigned NumAtoms = 1 + Rng.below(3);
+  constexpr Kind Compares[] = {Kind::Le, Kind::Lt, Kind::Ge, Kind::Gt};
+  for (unsigned I = 0; I < NumAtoms; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    if (Rng.chance(1, 4))
+      Instance.Assertions.push_back(M.mkEq(A, B));
+    else
+      Instance.Assertions.push_back(
+          M.mkCompare(Compares[Rng.below(4)], A, B));
+  }
+  return Instance;
+}
+
+/// Random constraint soup over Real.
+FuzzInstance randomRealSoup(TermManager &M, SplitMix64 &Rng,
+                            const std::string &Prefix) {
+  FuzzInstance Instance;
+  Instance.Name = Prefix + "-real-soup";
+  std::vector<Term> Pool = {
+      M.mkVariable(Prefix + "_r", Sort::real()),
+      M.mkVariable(Prefix + "_s", Sort::real()),
+      M.mkRealConst(Rational(BigInt(Rng.range(-16, 16)), BigInt(4))),
+      M.mkRealConst(Rational(Rng.range(0, 20)))};
+  unsigned Ops = 3 + Rng.below(4);
+  for (unsigned I = 0; I < Ops; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    switch (Rng.below(4)) {
+    case 0:
+      Pool.push_back(M.mkAdd(std::vector<Term>{A, B}));
+      break;
+    case 1:
+      Pool.push_back(M.mkMul(std::vector<Term>{A, B}));
+      break;
+    case 2:
+      Pool.push_back(M.mkNeg(A));
+      break;
+    default:
+      Pool.push_back(M.mkSub(std::vector<Term>{A, B}));
+      break;
+    }
+  }
+  unsigned NumAtoms = 1 + Rng.below(2);
+  constexpr Kind Compares[] = {Kind::Le, Kind::Lt, Kind::Ge, Kind::Gt};
+  for (unsigned I = 0; I < NumAtoms; ++I) {
+    Term A = Pool[Rng.below(Pool.size())];
+    Term B = Pool[Rng.below(Pool.size())];
+    Instance.Assertions.push_back(
+        M.mkCompare(Compares[Rng.below(4)], A, B));
+  }
+  return Instance;
+}
+
+} // namespace
+
+FuzzInstance staub::buildFuzzInstance(TermManager &Manager, FuzzTheory Theory,
+                                      uint64_t IterationSeed) {
+  SplitMix64 Rng(IterationSeed);
+  std::string Prefix = "fz" + std::to_string(IterationSeed % 100000);
+  // 40% structured benchgen instances (planted ground truth for the
+  // differential oracles), 60% operator soup (shapes benchgen never
+  // emits).
+  if (Rng.chance(2, 5)) {
+    BenchConfig Config;
+    Config.Seed = IterationSeed;
+    Config.Count = 1;
+    Config.SatPercent = 60;
+    Config.MaxConstantBits = 7; // Small boxes keep MiniSMT fast.
+    BenchLogic Logic;
+    if (Theory == FuzzTheory::Int)
+      Logic = Rng.chance(1, 2) ? BenchLogic::QF_NIA : BenchLogic::QF_LIA;
+    else
+      Logic = Rng.chance(1, 2) ? BenchLogic::QF_NRA : BenchLogic::QF_LRA;
+    auto Suite = generateSuite(Manager, Logic, Config);
+    GeneratedConstraint &C = Suite.front();
+    FuzzInstance Instance;
+    Instance.Name = C.Name + "@" + std::to_string(IterationSeed);
+    Instance.Assertions = std::move(C.Assertions);
+    Instance.Expected = C.Expected;
+    Instance.Planted = std::move(C.Planted);
+    return Instance;
+  }
+  return Theory == FuzzTheory::Int ? randomIntSoup(Manager, Rng, Prefix)
+                                   : randomRealSoup(Manager, Rng, Prefix);
+}
+
+namespace {
+
+/// Shrinks a stage-oracle violation with a self-validating predicate (the
+/// same oracle, ground-truth labels distrusted) and renders both
+/// reproducers.
+FuzzViolationReport buildReport(TermManager &Manager, const Violation &V,
+                                const FuzzInstance &Instance,
+                                SolverBackend &Backend,
+                                const OracleOptions &OracleOpts,
+                                const FuzzOptions &Options,
+                                uint64_t Index, uint64_t IterSeed) {
+  FuzzViolationReport Report;
+  Report.IterationIndex = Index;
+  Report.IterationSeed = IterSeed;
+  Report.Property = V.Property;
+  Report.Detail = V.Detail;
+  Report.InstanceName = Instance.Name;
+  Report.OriginalSmtLib = renderCorpusScript(Manager, V.Assertions,
+                                             V.Property, V.Detail, IterSeed);
+
+  std::vector<Term> Shrunk = V.Assertions;
+  auto Names = stageOracleNames();
+  if (std::find(Names.begin(), Names.end(), V.Property) != Names.end()) {
+    OracleOptions ShrinkOpts = OracleOpts;
+    ShrinkOpts.TrustExpected = false;
+    ShrinkOpts.CheckPortfolio = false; // No racing threads per candidate.
+    FuzzInstance Candidate = Instance;
+    Shrunk = shrinkAssertions(
+        Manager, Shrunk,
+        [&](const std::vector<Term> &Assertions) {
+          Candidate.Assertions = Assertions;
+          return runOracleByName(V.Property, Manager, Candidate, Backend,
+                                 ShrinkOpts)
+              .has_value();
+        },
+        Options.ShrinkBudget);
+  }
+  Report.ShrunkAssertionCount = static_cast<unsigned>(Shrunk.size());
+  Report.ShrunkSmtLib =
+      renderCorpusScript(Manager, Shrunk, V.Property, V.Detail, IterSeed);
+  return Report;
+}
+
+/// One full iteration: build, stage oracles, mutation chain. Returns the
+/// first violation, shrunk and rendered.
+std::optional<FuzzViolationReport>
+fuzzOneIteration(TermManager &Manager, const FuzzOptions &Options,
+                 uint64_t Index, SolverBackend &Backend,
+                 SolverBackend *Reference, const CancellationToken *Budget,
+                 unsigned &MutantsChecked) {
+  uint64_t IterSeed = fuzzIterationSeed(Options.Seed, Index);
+  FuzzInstance Instance =
+      buildFuzzInstance(Manager, Options.Theory, IterSeed);
+
+  OracleOptions OracleOpts;
+  OracleOpts.Theory = Options.Theory;
+  OracleOpts.SolveTimeoutSeconds = Options.SolveTimeoutSeconds;
+  OracleOpts.Reference = Reference;
+  OracleOpts.CheckPortfolio = Options.CheckPortfolio;
+  OracleOpts.Inject = Options.Inject;
+  OracleOpts.Cancel = Budget;
+
+  if (std::optional<Violation> V =
+          runStageOracles(Manager, Instance, Backend, OracleOpts))
+    return buildReport(Manager, *V, Instance, Backend, OracleOpts, Options,
+                       Index, IterSeed);
+
+  // Metamorphic chain: mutate up to three times, checking each hop. The
+  // chain RNG is derived from the iteration seed only, so mutants are as
+  // deterministic as the inputs.
+  SplitMix64 MutRng(IterSeed ^ 0xda942042e4dd58b5ull);
+  unsigned ChainLength = 1 + MutRng.below(3);
+  FuzzInstance Current = Instance;
+  for (unsigned Hop = 0; Hop < ChainLength; ++Hop) {
+    if (stopRequested(Budget))
+      break;
+    const Model *Planted =
+        Current.Planted ? &*Current.Planted : nullptr;
+    Mutation Mut =
+        applyRandomMutation(Manager, Current.Assertions, Planted, MutRng);
+    if (!Mut.Applied)
+      break;
+    ++MutantsChecked;
+    if (std::optional<Violation> V =
+            checkMetamorphic(Manager, Current, Mut, Backend, OracleOpts)) {
+      FuzzInstance MutantInstance = Current;
+      MutantInstance.Assertions = Mut.Assertions;
+      MutantInstance.Name = Current.Name + "+" +
+                            std::string(toString(Mut.Kind));
+      return buildReport(Manager, *V, MutantInstance, Backend, OracleOpts,
+                         Options, Index, IterSeed);
+    }
+    FuzzInstance Next;
+    Next.Name = Current.Name + "+" + std::string(toString(Mut.Kind));
+    Next.Assertions = Mut.Assertions;
+    Next.Expected = Current.Expected;
+    if (Current.Planted)
+      Next.Planted = remapModel(*Current.Planted, Mut);
+    Current = std::move(Next);
+  }
+
+  // The pipeline itself gets one run over the final mutant: mutated shapes
+  // reach translation paths the seed instances do not.
+  if (Current.Assertions != Instance.Assertions && !stopRequested(Budget))
+    if (std::optional<Violation> V = runOracleByName(
+            "pipeline-soundness", Manager, Current, Backend, OracleOpts))
+      return buildReport(Manager, *V, Current, Backend, OracleOpts, Options,
+                         Index, IterSeed);
+  return std::nullopt;
+}
+
+} // namespace
+
+FuzzReport staub::runFuzzer(const FuzzOptions &Options) {
+  FuzzReport Report;
+  CancellationToken Budget;
+  if (Options.TimeBudgetSeconds > 0)
+    Budget.setDeadlineIn(Options.TimeBudgetSeconds);
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  Jobs = std::min<unsigned>(Jobs, std::max(1u, Options.Iterations));
+
+  std::atomic<uint64_t> NextIndex{0};
+  std::atomic<unsigned> IterationsRun{0};
+  std::atomic<unsigned> MutantsChecked{0};
+  std::atomic<unsigned> ViolationsFound{0};
+  std::mutex FoundMutex;
+  std::vector<FuzzViolationReport> Found;
+
+  auto Worker = [&] {
+    TermManager Local;
+    auto Backend = createMiniSmtSolver();
+    std::unique_ptr<SolverBackend> Z3;
+    if (Options.UseZ3)
+      Z3 = createZ3Solver();
+    for (;;) {
+      if (Budget.shouldStop() ||
+          ViolationsFound.load(std::memory_order_relaxed) >=
+              Options.MaxViolations)
+        return;
+      uint64_t Index = NextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= Options.Iterations)
+        return;
+      unsigned Mutants = 0;
+      std::optional<FuzzViolationReport> R = fuzzOneIteration(
+          Local, Options, Index, *Backend, Z3.get(), &Budget, Mutants);
+      IterationsRun.fetch_add(1, std::memory_order_relaxed);
+      MutantsChecked.fetch_add(Mutants, std::memory_order_relaxed);
+      if (R) {
+        ViolationsFound.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> Lock(FoundMutex);
+        Found.push_back(std::move(*R));
+      }
+    }
+  };
+
+  if (Jobs == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Jobs);
+    for (unsigned I = 0; I < Jobs; ++I)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  Report.IterationsRun = IterationsRun.load();
+  Report.MutantsChecked = MutantsChecked.load();
+  Report.TimeBudgetExhausted =
+      Budget.shouldStop() && Report.IterationsRun < Options.Iterations;
+
+  // Normalize: discovery order depends on scheduling, the report must not.
+  std::sort(Found.begin(), Found.end(),
+            [](const FuzzViolationReport &A, const FuzzViolationReport &B) {
+              return A.IterationIndex < B.IterationIndex;
+            });
+
+  // Persist (from the main thread, serially, deduplicating identical
+  // reproducers — a systematic bug fires on many seeds).
+  if (!Options.CorpusDir.empty()) {
+    std::unordered_set<std::string> SeenTexts;
+    for (FuzzViolationReport &R : Found) {
+      if (!SeenTexts.insert(R.ShrunkSmtLib).second)
+        continue;
+      CorpusWriteResult W = writeCorpusEntry(Options.CorpusDir, R.Property,
+                                             R.IterationSeed, R.ShrunkSmtLib);
+      if (W.Ok)
+        R.CorpusPath = W.Path;
+    }
+  }
+  Report.Violations = std::move(Found);
+  return Report;
+}

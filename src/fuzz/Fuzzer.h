@@ -1,0 +1,96 @@
+//===- fuzz/Fuzzer.h - Metamorphic/differential fuzzing engine --*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzing engine behind the staub-fuzz driver: per iteration it
+/// builds a deterministic input (a benchgen instance with planted ground
+/// truth, or a random constraint soup), runs the differential stage
+/// oracles, then applies a chain of metamorphic mutations and checks each
+/// against the metamorphic oracle. Violations are shrunk to a minimal
+/// reproducer and rendered as SMT-LIB.
+///
+/// Determinism: iteration I of a run with seed S depends only on (S, I) —
+/// never on thread scheduling — so `--jobs N` explores exactly the same
+/// inputs as `--jobs 1`, and two runs with the same seed produce
+/// byte-identical instances and mutants. Under a `--time-budget`, which
+/// iterations *finish* may differ, but any iteration that runs behaves
+/// identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_FUZZ_FUZZER_H
+#define STAUB_FUZZ_FUZZER_H
+
+#include "fuzz/Oracles.h"
+
+#include <string>
+#include <vector>
+
+namespace staub {
+
+/// Engine knobs; the staub-fuzz driver maps its flags onto these.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Iterations = 100;
+  /// 0 = no wall-clock budget. Enforced via a CancellationToken deadline
+  /// threaded through every solver call.
+  double TimeBudgetSeconds = 0.0;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Jobs = 1;
+  FuzzTheory Theory = FuzzTheory::Int;
+  /// Per-solve budget inside the oracles.
+  double SolveTimeoutSeconds = 0.5;
+  /// Run the reference-agreement oracle against Z3.
+  bool UseZ3 = false;
+  /// Run the racing portfolio inside portfolio-agreement (spawns threads).
+  bool CheckPortfolio = true;
+  BugInjection Inject = BugInjection::None;
+  /// Persist shrunk reproducers here; empty = don't persist.
+  std::string CorpusDir;
+  /// Stop fuzzing after this many violations.
+  unsigned MaxViolations = 10;
+  /// Predicate-evaluation budget for the shrinker.
+  unsigned ShrinkBudget = 300;
+};
+
+/// One found-and-shrunk violation.
+struct FuzzViolationReport {
+  uint64_t IterationIndex = 0;
+  uint64_t IterationSeed = 0;
+  std::string Property;
+  std::string Detail;
+  std::string InstanceName;
+  /// Reproducers rendered as standalone SMT-LIB scripts.
+  std::string OriginalSmtLib;
+  std::string ShrunkSmtLib;
+  unsigned ShrunkAssertionCount = 0;
+  /// Where the shrunk reproducer was persisted (empty when not).
+  std::string CorpusPath;
+};
+
+/// Aggregate outcome of a fuzzing run.
+struct FuzzReport {
+  unsigned IterationsRun = 0;
+  unsigned MutantsChecked = 0;
+  bool TimeBudgetExhausted = false;
+  /// Sorted by IterationIndex.
+  std::vector<FuzzViolationReport> Violations;
+};
+
+/// The per-iteration seed: a SplitMix64 hash of (Seed, Index) so it does
+/// not depend on jobs or scheduling.
+uint64_t fuzzIterationSeed(uint64_t Seed, uint64_t Index);
+
+/// Builds the deterministic input for one iteration into \p Manager.
+FuzzInstance buildFuzzInstance(TermManager &Manager, FuzzTheory Theory,
+                               uint64_t IterationSeed);
+
+/// Runs the whole fuzzing campaign.
+FuzzReport runFuzzer(const FuzzOptions &Options);
+
+} // namespace staub
+
+#endif // STAUB_FUZZ_FUZZER_H

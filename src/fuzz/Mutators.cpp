@@ -1,0 +1,346 @@
+//===- fuzz/Mutators.cpp - Metamorphic mutation catalog -------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutators.h"
+#include "fuzz/Rewrite.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+using namespace staub;
+
+std::string_view staub::toString(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::CommuteOperands:
+    return "commute-operands";
+  case MutationKind::RotateOperands:
+    return "rotate-operands";
+  case MutationKind::AddTautology:
+    return "add-tautology";
+  case MutationKind::AssertPlantedValue:
+    return "assert-planted-value";
+  case MutationKind::RenameVariables:
+    return "rename-variables";
+  case MutationKind::ScaleRealComparison:
+    return "scale-real-comparison";
+  }
+  return "unknown-mutation";
+}
+
+namespace {
+
+/// All distinct nodes reachable from \p Assertions, in a deterministic
+/// (pre-order, first-occurrence) order.
+std::vector<Term> collectNodes(const TermManager &Manager,
+                               const std::vector<Term> &Assertions) {
+  std::vector<Term> Order;
+  std::vector<bool> Seen;
+  std::vector<Term> Stack(Assertions.rbegin(), Assertions.rend());
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (T.id() >= Seen.size())
+      Seen.resize(T.id() + 1, false);
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    Order.push_back(T);
+    auto Children = Manager.childrenCopy(T);
+    Stack.insert(Stack.end(), Children.rbegin(), Children.rend());
+  }
+  return Order;
+}
+
+/// Distinct variables over all assertions, deterministic order.
+std::vector<Term> collectAllVariables(const TermManager &Manager,
+                                      const std::vector<Term> &Assertions) {
+  std::vector<Term> Vars;
+  for (Term T : collectNodes(Manager, Assertions))
+    if (Manager.kind(T) == Kind::Variable)
+      Vars.push_back(T);
+  return Vars;
+}
+
+bool isCommutative(Kind K) {
+  switch (K) {
+  case Kind::And:
+  case Kind::Or:
+  case Kind::Add:
+  case Kind::Mul:
+  case Kind::Eq:
+  case Kind::Distinct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Rebuilds \p Assertions with the node \p Target replaced by the result
+/// of \p Permute applied to its (rewritten) children.
+std::vector<Term>
+permuteAt(TermManager &Manager, const std::vector<Term> &Assertions,
+          Term Target, const std::function<void(std::vector<Term> &)> &Permute) {
+  TermRewriter Rewriter(
+      Manager, [&](TermManager &M, Term T, const std::vector<Term> &Children) {
+        if (T != Target)
+          return Term();
+        std::vector<Term> Permuted = Children;
+        Permute(Permuted);
+        return M.mkApp(M.kind(T), Permuted, M.paramA(T), M.paramB(T));
+      });
+  return Rewriter.rewriteAll(Assertions);
+}
+
+Mutation commuteOrRotate(TermManager &Manager,
+                         const std::vector<Term> &Assertions, SplitMix64 &Rng,
+                         bool Rotate) {
+  Mutation Mut;
+  Mut.Kind = Rotate ? MutationKind::RotateOperands
+                    : MutationKind::CommuteOperands;
+  Mut.ModelPreserving = true;
+  std::vector<Term> Sites;
+  for (Term T : collectNodes(Manager, Assertions)) {
+    if (!isCommutative(Manager.kind(T)) || Manager.numChildren(T) < 2)
+      continue;
+    // A site whose operands are all the same term permutes to itself
+    // (hash consing makes that a no-op mutation); skip it.
+    auto Children = Manager.childrenCopy(T);
+    if (std::adjacent_find(Children.begin(), Children.end(),
+                           std::not_equal_to<>()) == Children.end())
+      continue;
+    Sites.push_back(T);
+  }
+  if (Sites.empty())
+    return Mut;
+  Term Target = Sites[Rng.below(Sites.size())];
+  unsigned Arity = Manager.numChildren(Target);
+  unsigned Shift = Rotate ? 1 + Rng.below(Arity - 1) : 0;
+  Mut.Assertions = permuteAt(
+      Manager, Assertions, Target, [&](std::vector<Term> &Children) {
+        if (Rotate)
+          std::rotate(Children.begin(), Children.begin() + Shift,
+                      Children.end());
+        else
+          std::reverse(Children.begin(), Children.end());
+      });
+  if (Mut.Assertions == Assertions)
+    return Mut; // Palindromic operand list; effectively a no-op.
+  Mut.Applied = true;
+  Mut.Note = std::string(Rotate ? "rotated" : "reversed") + " operands of " +
+             std::string(kindName(Manager.kind(Target))) + " node";
+  return Mut;
+}
+
+Mutation addTautology(TermManager &Manager,
+                      const std::vector<Term> &Assertions, SplitMix64 &Rng) {
+  Mutation Mut;
+  Mut.Kind = MutationKind::AddTautology;
+  Mut.ModelPreserving = true;
+  if (Assertions.empty())
+    return Mut;
+  std::vector<Term> Numeric;
+  for (Term V : collectAllVariables(Manager, Assertions)) {
+    Sort S = Manager.sort(V);
+    if (S.isInt() || S.isReal())
+      Numeric.push_back(V);
+  }
+  Term Tautology;
+  unsigned Form = Rng.below(Numeric.empty() ? 1 : 4);
+  if (Numeric.empty())
+    Form = 3;
+  switch (Form) {
+  case 0: {
+    Term V = Numeric[Rng.below(Numeric.size())];
+    Tautology = Manager.mkEq(V, V);
+    Mut.Note = "conjoined (= v v)";
+    break;
+  }
+  case 1: {
+    Term V = Numeric[Rng.below(Numeric.size())];
+    Tautology = Manager.mkCompare(Kind::Le, V, V);
+    Mut.Note = "conjoined (<= v v)";
+    break;
+  }
+  case 2: {
+    Term V = Numeric[Rng.below(Numeric.size())];
+    std::array<Term, 2> Square = {V, V};
+    Term Zero = Manager.sort(V).isInt()
+                    ? Manager.mkIntConst(BigInt(0))
+                    : Manager.mkRealConst(Rational(0));
+    Tautology = Manager.mkCompare(Kind::Ge, Manager.mkMul(Square), Zero);
+    Mut.Note = "conjoined (>= (* v v) 0)";
+    break;
+  }
+  default: {
+    Term A = Assertions[Rng.below(Assertions.size())];
+    std::array<Term, 2> Disj = {A, Manager.mkNot(A)};
+    Tautology = Manager.mkOr(Disj);
+    Mut.Note = "conjoined excluded-middle over an assertion";
+    break;
+  }
+  }
+  Mut.Assertions = Assertions;
+  // Prepend or append so conjunct-order handling gets exercised too.
+  if (Rng.chance(1, 2))
+    Mut.Assertions.insert(Mut.Assertions.begin(), Tautology);
+  else
+    Mut.Assertions.push_back(Tautology);
+  Mut.Applied = true;
+  return Mut;
+}
+
+Mutation assertPlantedValue(TermManager &Manager,
+                            const std::vector<Term> &Assertions,
+                            const Model *Planted, SplitMix64 &Rng) {
+  Mutation Mut;
+  Mut.Kind = MutationKind::AssertPlantedValue;
+  Mut.ModelPreserving = false;
+  if (!Planted || Planted->empty())
+    return Mut;
+  // Sort the bindings by variable id: unordered_map iteration order must
+  // not leak into the mutant (seed determinism).
+  std::vector<std::pair<uint32_t, Value>> Bindings(Planted->begin(),
+                                                   Planted->end());
+  std::sort(Bindings.begin(), Bindings.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  // Only pin variables that actually occur in the constraint.
+  std::vector<bool> Occurs;
+  for (Term V : collectAllVariables(Manager, Assertions)) {
+    if (V.id() >= Occurs.size())
+      Occurs.resize(V.id() + 1, false);
+    Occurs[V.id()] = true;
+  }
+  std::erase_if(Bindings, [&](const auto &Entry) {
+    return Entry.first >= Occurs.size() || !Occurs[Entry.first];
+  });
+  if (Bindings.empty())
+    return Mut;
+  const auto &[VarId, V] = Bindings[Rng.below(Bindings.size())];
+  Term Var(VarId);
+  Term Const;
+  if (V.isBool())
+    Const = Manager.mkBoolConst(V.asBool());
+  else if (V.isInt())
+    Const = Manager.mkIntConst(V.asInt());
+  else if (V.isReal())
+    Const = Manager.mkRealConst(V.asReal());
+  else
+    return Mut; // Bounded-sort witnesses are not in the fuzzed fragment.
+  Mut.Assertions = Assertions;
+  Mut.Assertions.push_back(Manager.mkEq(Var, Const));
+  Mut.Applied = true;
+  Mut.Note = "pinned " + Manager.variableName(Var) + " to planted value " +
+             V.toString();
+  return Mut;
+}
+
+Mutation renameVariables(TermManager &Manager,
+                         const std::vector<Term> &Assertions) {
+  Mutation Mut;
+  Mut.Kind = MutationKind::RenameVariables;
+  Mut.ModelPreserving = true;
+  if (collectAllVariables(Manager, Assertions).empty())
+    return Mut;
+  TermRewriter Rewriter(
+      Manager, [&](TermManager &M, Term T, const std::vector<Term> &) {
+        if (M.kind(T) != Kind::Variable)
+          return Term();
+        Term Fresh = M.mkVariable(M.variableName(T) + "~m", M.sort(T));
+        Mut.VariableImage.emplace(T.id(), Fresh);
+        return Fresh;
+      });
+  Mut.Assertions = Rewriter.rewriteAll(Assertions);
+  Mut.Applied = true;
+  Mut.Note = "renamed " + std::to_string(Mut.VariableImage.size()) +
+             " variable(s)";
+  return Mut;
+}
+
+Mutation scaleRealComparison(TermManager &Manager,
+                             const std::vector<Term> &Assertions,
+                             SplitMix64 &Rng) {
+  Mutation Mut;
+  Mut.Kind = MutationKind::ScaleRealComparison;
+  Mut.ModelPreserving = true;
+  std::vector<Term> Sites;
+  for (Term T : collectNodes(Manager, Assertions)) {
+    Kind K = Manager.kind(T);
+    bool Comparison = K == Kind::Le || K == Kind::Lt || K == Kind::Ge ||
+                      K == Kind::Gt || K == Kind::Eq;
+    if (Comparison && Manager.numChildren(T) == 2 &&
+        Manager.sort(Manager.child(T, 0)).isReal())
+      Sites.push_back(T);
+  }
+  if (Sites.empty())
+    return Mut;
+  Term Target = Sites[Rng.below(Sites.size())];
+  int64_t Factor = Rng.range(2, 5);
+  Term FactorConst = Manager.mkRealConst(Rational(Factor));
+  TermRewriter Rewriter(
+      Manager, [&](TermManager &M, Term T, const std::vector<Term> &Children) {
+        if (T != Target)
+          return Term();
+        std::array<Term, 2> Lhs = {FactorConst, Children[0]};
+        std::array<Term, 2> Rhs = {FactorConst, Children[1]};
+        std::array<Term, 2> Scaled = {M.mkMul(Lhs), M.mkMul(Rhs)};
+        if (M.kind(T) == Kind::Eq)
+          return M.mkEq(Scaled[0], Scaled[1]);
+        return M.mkCompare(M.kind(T), Scaled[0], Scaled[1]);
+      });
+  Mut.Assertions = Rewriter.rewriteAll(Assertions);
+  Mut.Applied = true;
+  Mut.Note = "scaled a Real comparison by " + std::to_string(Factor);
+  return Mut;
+}
+
+} // namespace
+
+Mutation staub::applyMutation(TermManager &Manager, MutationKind Kind,
+                              const std::vector<Term> &Assertions,
+                              const Model *Planted, SplitMix64 &Rng) {
+  switch (Kind) {
+  case MutationKind::CommuteOperands:
+    return commuteOrRotate(Manager, Assertions, Rng, /*Rotate=*/false);
+  case MutationKind::RotateOperands:
+    return commuteOrRotate(Manager, Assertions, Rng, /*Rotate=*/true);
+  case MutationKind::AddTautology:
+    return addTautology(Manager, Assertions, Rng);
+  case MutationKind::AssertPlantedValue:
+    return assertPlantedValue(Manager, Assertions, Planted, Rng);
+  case MutationKind::RenameVariables:
+    return renameVariables(Manager, Assertions);
+  case MutationKind::ScaleRealComparison:
+    return scaleRealComparison(Manager, Assertions, Rng);
+  }
+  return {};
+}
+
+Mutation staub::applyRandomMutation(TermManager &Manager,
+                                    const std::vector<Term> &Assertions,
+                                    const Model *Planted, SplitMix64 &Rng) {
+  // One random full sweep of the catalog: start at a random kind and walk
+  // until something applies.
+  unsigned Start = Rng.below(NumMutationKinds);
+  for (unsigned I = 0; I < NumMutationKinds; ++I) {
+    auto Kind = static_cast<MutationKind>((Start + I) % NumMutationKinds);
+    Mutation Mut = applyMutation(Manager, Kind, Assertions, Planted, Rng);
+    if (Mut.Applied)
+      return Mut;
+  }
+  Mutation None;
+  None.Applied = false;
+  return None;
+}
+
+Model staub::remapModel(const Model &Original, const Mutation &Mut) {
+  Model Remapped;
+  for (const auto &[VarId, V] : Original) {
+    auto It = Mut.VariableImage.find(VarId);
+    Remapped.set(It == Mut.VariableImage.end() ? Term(VarId) : It->second, V);
+  }
+  return Remapped;
+}

@@ -1,0 +1,94 @@
+//===- fuzz/Mutators.h - Metamorphic mutation catalog -----------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metamorphic mutation catalog: semantics-preserving rewrites of a
+/// constraint whose verdict must not change under the STAUB pipeline.
+/// Every mutation in the catalog is satisfiability-preserving (given a
+/// valid planted witness), and most are model-preserving up to the
+/// variable renaming recorded in Mutation::VariableImage — which is what
+/// lets the metamorphic oracle transport a model of the original across
+/// the mutation and re-check it on the mutant with the exact evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_FUZZ_MUTATORS_H
+#define STAUB_FUZZ_MUTATORS_H
+
+#include "smtlib/Term.h"
+#include "support/Random.h"
+#include "theory/Evaluator.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace staub {
+
+/// The catalog. Keep NumMutationKinds in sync.
+enum class MutationKind : uint8_t {
+  /// Reverse the operands of one commutative node (and/or/+/*/=/distinct).
+  CommuteOperands,
+  /// Rotate the operands of one commutative node by a random amount.
+  RotateOperands,
+  /// Conjoin a tautology built from the constraint's own variables.
+  AddTautology,
+  /// Conjoin `(= v c)` for one variable of the planted model. Narrows the
+  /// model set but cannot change the verdict when the witness is valid.
+  AssertPlantedValue,
+  /// Rename every variable (fresh names, same sorts).
+  RenameVariables,
+  /// Multiply both sides of one Real comparison by a positive constant.
+  ScaleRealComparison,
+};
+
+inline constexpr unsigned NumMutationKinds = 6;
+
+/// Returns a short label, e.g. "commute-operands".
+std::string_view toString(MutationKind Kind);
+
+/// One applied (or refused) mutation.
+struct Mutation {
+  MutationKind Kind = MutationKind::CommuteOperands;
+  /// False when the mutator found no applicable site (e.g. no Real
+  /// comparison to scale); Assertions is then empty.
+  bool Applied = false;
+  /// True when every model of the original maps to a model of the mutant
+  /// (through VariableImage) and back. AssertPlantedValue is the one
+  /// catalog entry that narrows the model set, so it reports false.
+  bool ModelPreserving = false;
+  /// The mutated assertion vector.
+  std::vector<Term> Assertions;
+  /// Original variable id -> mutant variable term. Empty means identity.
+  std::unordered_map<uint32_t, Term> VariableImage;
+  /// Human-readable description of the applied rewrite, for reports.
+  std::string Note;
+};
+
+/// Applies \p Kind to \p Assertions. \p Planted (may be null) supplies the
+/// witness AssertPlantedValue needs. Randomness (site choice, rotation
+/// amount, scale factor) is drawn from \p Rng only, so identical seeds
+/// give byte-identical mutants.
+Mutation applyMutation(TermManager &Manager, MutationKind Kind,
+                       const std::vector<Term> &Assertions,
+                       const Model *Planted, SplitMix64 &Rng);
+
+/// Tries random kinds until one applies (at most one full sweep of the
+/// catalog); the result has Applied == false if nothing in the catalog
+/// fits this constraint.
+Mutation applyRandomMutation(TermManager &Manager,
+                             const std::vector<Term> &Assertions,
+                             const Model *Planted, SplitMix64 &Rng);
+
+/// Transports a model of the original constraint across \p Mut: bindings
+/// of renamed variables move to their images, everything else passes
+/// through.
+Model remapModel(const Model &Original, const Mutation &Mut);
+
+} // namespace staub
+
+#endif // STAUB_FUZZ_MUTATORS_H

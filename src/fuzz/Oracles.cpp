@@ -1,0 +1,483 @@
+//===- fuzz/Oracles.cpp - Differential stage oracles ----------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+#include "fuzz/Rewrite.h"
+#include "staub/BoundInference.h"
+#include "staub/Staub.h"
+#include "staub/Transform.h"
+#include "staub/WidthReduction.h"
+
+#include <algorithm>
+
+using namespace staub;
+
+std::string_view staub::toString(FuzzTheory Theory) {
+  switch (Theory) {
+  case FuzzTheory::Int:
+    return "int";
+  case FuzzTheory::Real:
+    return "real";
+  case FuzzTheory::Fp:
+    return "fp";
+  }
+  return "int";
+}
+
+std::optional<FuzzTheory> staub::parseFuzzTheory(std::string_view Text) {
+  if (Text == "int")
+    return FuzzTheory::Int;
+  if (Text == "real")
+    return FuzzTheory::Real;
+  if (Text == "fp")
+    return FuzzTheory::Fp;
+  return std::nullopt;
+}
+
+bool staub::usesIntDivision(const TermManager &Manager,
+                            const std::vector<Term> &Assertions) {
+  std::vector<Term> Stack = Assertions;
+  std::vector<bool> Seen;
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (T.id() >= Seen.size())
+      Seen.resize(T.id() + 1, false);
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    Kind K = Manager.kind(T);
+    if (K == Kind::IntDiv || K == Kind::IntMod)
+      return true;
+    for (Term Child : Manager.children(T))
+      Stack.push_back(Child);
+  }
+  return false;
+}
+
+namespace {
+
+/// Evaluates the conjunction of \p Assertions under \p M. nullopt when any
+/// assertion hits an undefined operation or an unbound variable.
+std::optional<bool> evaluateConjunction(const TermManager &Manager,
+                                        const std::vector<Term> &Assertions,
+                                        const Model &M) {
+  for (Term Assertion : Assertions) {
+    std::optional<Value> V = evaluate(Manager, Assertion, M);
+    if (!V || !V->isBool())
+      return std::nullopt;
+    if (!V->asBool())
+      return false;
+  }
+  return true;
+}
+
+StaubOptions pipelineOptions(const OracleOptions &Options) {
+  StaubOptions SO;
+  SO.Solve.TimeoutSeconds = Options.SolveTimeoutSeconds;
+  SO.Solve.Cancel = Options.Cancel;
+  if (Options.Theory == FuzzTheory::Fp)
+    SO.FixedWidth = 16; // Forces float16: maximal rounding stress.
+  return SO;
+}
+
+SolverOptions solveOptions(const OracleOptions &Options) {
+  SolverOptions SOpts;
+  SOpts.TimeoutSeconds = Options.SolveTimeoutSeconds;
+  SOpts.Cancel = Options.Cancel;
+  return SOpts;
+}
+
+Violation makeViolation(std::string Property, std::string Detail,
+                        const FuzzInstance &Instance) {
+  return {std::move(Property), std::move(Detail), Instance.Assertions};
+}
+
+bool decisive(SolveStatus Status) { return Status != SolveStatus::Unknown; }
+
+//===----------------------------------------------------------------------===//
+// Stage oracles.
+//===----------------------------------------------------------------------===//
+
+/// planted-truth: the generator's witness must satisfy its own constraint
+/// exactly. Self-validating (pure evaluation), so it also runs while
+/// shrinking.
+std::optional<Violation> checkPlantedTruth(TermManager &Manager,
+                                           const FuzzInstance &Instance,
+                                           SolverBackend &,
+                                           const OracleOptions &) {
+  if (!Instance.Planted)
+    return std::nullopt;
+  std::optional<bool> Holds =
+      evaluateConjunction(Manager, Instance.Assertions, *Instance.Planted);
+  if (Holds.value_or(true))
+    return std::nullopt;
+  return makeViolation("planted-truth",
+                       "planted witness does not satisfy the constraint",
+                       Instance);
+}
+
+/// pipeline-soundness: a VerifiedSat answer must survive independent exact
+/// re-evaluation, and (when ground truth is trusted) must not contradict
+/// it. An Unsat-side contradiction is only claimed when the planted
+/// witness re-validates on this very constraint, which keeps the check
+/// meaningful under shrinking.
+std::optional<Violation> checkPipelineSoundness(TermManager &Manager,
+                                                const FuzzInstance &Instance,
+                                                SolverBackend &Backend,
+                                                const OracleOptions &Options) {
+  StaubOutcome Outcome = runStaub(Manager, Instance.Assertions, Backend,
+                                  pipelineOptions(Options));
+  if (Outcome.Path == StaubPath::VerifiedSat) {
+    std::optional<bool> Holds = evaluateConjunction(
+        Manager, Instance.Assertions, Outcome.VerifiedModel);
+    if (!Holds.value_or(false))
+      return makeViolation(
+          "pipeline-soundness",
+          "VerifiedSat model fails independent exact re-evaluation",
+          Instance);
+    if (Options.TrustExpected && Instance.Expected == SolveStatus::Unsat)
+      return makeViolation("pipeline-soundness",
+                           "pipeline verified sat on a planted-unsat instance",
+                           Instance);
+  }
+  return std::nullopt;
+}
+
+/// int-translation-exactness: on the division-free Int fragment the
+/// guarded Int->BV translation is exact (paper Sec. 4.3), so every model
+/// of the bounded constraint must convert back to a model of the
+/// original. BugInjection::DropOverflowGuards deliberately breaks this.
+std::optional<Violation>
+checkIntTranslationExactness(TermManager &Manager, const FuzzInstance &Instance,
+                             SolverBackend &Backend,
+                             const OracleOptions &Options) {
+  if (Options.Theory != FuzzTheory::Int ||
+      usesIntDivision(Manager, Instance.Assertions))
+    return std::nullopt;
+  IntBounds Bounds = inferIntBounds(Manager, Instance.Assertions);
+  unsigned Width = std::clamp(Bounds.VariableAssumption, 1u, 64u);
+  TransformResult Transform =
+      transformIntToBv(Manager, Instance.Assertions, Width);
+  if (!Transform.Ok)
+    return std::nullopt;
+  std::vector<Term> Bounded = Transform.Assertions;
+  if (Options.Inject == BugInjection::DropOverflowGuards) {
+    // The translator emits one assertion per input followed by the guards;
+    // truncating to the input count strips exactly the guards.
+    Bounded.resize(Instance.Assertions.size());
+  }
+  SolveResult Result = Backend.solve(Manager, Bounded, solveOptions(Options));
+  if (Result.Status != SolveStatus::Sat)
+    return std::nullopt;
+  Model Unbounded;
+  if (!convertModelBack(Manager, Transform, Result.TheModel, Unbounded))
+    return makeViolation("int-translation-exactness",
+                         "bounded model has no unbounded preimage", Instance);
+  std::optional<bool> Holds =
+      evaluateConjunction(Manager, Instance.Assertions, Unbounded);
+  if (!Holds.value_or(false))
+    return makeViolation("int-translation-exactness",
+                         "bounded model converts back but fails the original "
+                         "(guarded translation must be exact without div)",
+                         Instance);
+  return std::nullopt;
+}
+
+/// bound-monotonicity: doubling every constant must never shrink an
+/// inferred width — the abstract transfer functions (Fig. 5) are monotone
+/// in constant magnitude.
+std::optional<Violation> checkBoundMonotonicity(TermManager &Manager,
+                                                const FuzzInstance &Instance,
+                                                SolverBackend &,
+                                                const OracleOptions &Options) {
+  TermRewriter Doubler(
+      Manager, [](TermManager &M, Term T, const std::vector<Term> &) {
+        if (M.kind(T) == Kind::ConstInt)
+          return M.mkIntConst(M.intValue(T) * BigInt(2));
+        if (M.kind(T) == Kind::ConstReal)
+          return M.mkRealConst(M.realValue(T) * Rational(2));
+        return Term();
+      });
+  std::vector<Term> Scaled = Doubler.rewriteAll(Instance.Assertions);
+  if (Options.Theory == FuzzTheory::Int) {
+    IntBounds Base = inferIntBounds(Manager, Instance.Assertions);
+    IntBounds Wide = inferIntBounds(Manager, Scaled);
+    if (Wide.VariableAssumption < Base.VariableAssumption ||
+        Wide.RootWidth < Base.RootWidth)
+      return makeViolation(
+          "bound-monotonicity",
+          "doubling constants shrank an inferred width (" +
+              std::to_string(Base.VariableAssumption) + "/" +
+              std::to_string(Base.RootWidth) + " -> " +
+              std::to_string(Wide.VariableAssumption) + "/" +
+              std::to_string(Wide.RootWidth) + ")",
+          Instance);
+    return std::nullopt;
+  }
+  RealBounds Base = inferRealBounds(Manager, Instance.Assertions);
+  RealBounds Wide = inferRealBounds(Manager, Scaled);
+  // Only the magnitude component must grow with constant magnitude; the
+  // precision of c and 2c is the same (the denominator is untouched).
+  if (Wide.MagnitudeAssumption < Base.MagnitudeAssumption ||
+      Wide.RootMagnitude < Base.RootMagnitude)
+    return makeViolation(
+        "bound-monotonicity",
+        "doubling constants shrank an inferred magnitude (" +
+            std::to_string(Base.RootMagnitude) + " -> " +
+            std::to_string(Wide.RootMagnitude) + ")",
+        Instance);
+  return std::nullopt;
+}
+
+/// width-reduction-stability: the Sec. 6.4 narrow-solve-verify lane never
+/// changes the verdict of the wide BV constraint it is applied to. The
+/// wide constraint here is the Int instance's own guarded translation.
+std::optional<Violation>
+checkWidthReductionStability(TermManager &Manager, const FuzzInstance &Instance,
+                             SolverBackend &Backend,
+                             const OracleOptions &Options) {
+  if (Options.Theory != FuzzTheory::Int)
+    return std::nullopt;
+  IntBounds Bounds = inferIntBounds(Manager, Instance.Assertions);
+  unsigned Width = std::clamp(Bounds.VariableAssumption, 1u, 64u);
+  TransformResult Transform =
+      transformIntToBv(Manager, Instance.Assertions, Width);
+  if (!Transform.Ok)
+    return std::nullopt;
+  SolveResult Narrow = runWidthReduction(Manager, Transform.Assertions,
+                                         Backend, solveOptions(Options));
+  if (Narrow.Status != SolveStatus::Sat)
+    return std::nullopt; // The lane only ever answers Sat or Unknown.
+  std::optional<bool> Holds =
+      evaluateConjunction(Manager, Transform.Assertions, Narrow.TheModel);
+  if (!Holds.value_or(false))
+    return makeViolation(
+        "width-reduction-stability",
+        "width-reduced model fails the wide constraint it came from",
+        Instance);
+  SolveResult Direct =
+      Backend.solve(Manager, Transform.Assertions, solveOptions(Options));
+  if (Direct.Status == SolveStatus::Unsat)
+    return makeViolation(
+        "width-reduction-stability",
+        "width reduction answered sat on a directly-unsat constraint",
+        Instance);
+  return std::nullopt;
+}
+
+/// portfolio-agreement: measured and racing portfolios must agree with
+/// each other when both decide, their sat models must re-verify, and
+/// (when trusted) neither may contradict ground truth.
+std::optional<Violation> checkPortfolioAgreement(TermManager &Manager,
+                                                 const FuzzInstance &Instance,
+                                                 SolverBackend &Backend,
+                                                 const OracleOptions &Options) {
+  StaubOptions SO = pipelineOptions(Options);
+  PortfolioResult Measured =
+      runPortfolioMeasured(Manager, Instance.Assertions, Backend, SO);
+  if (Measured.Status == SolveStatus::Sat) {
+    std::optional<bool> Holds =
+        evaluateConjunction(Manager, Instance.Assertions, Measured.TheModel);
+    if (!Holds.value_or(false))
+      return makeViolation("portfolio-agreement",
+                           "measured portfolio sat model fails re-evaluation",
+                           Instance);
+  }
+  if (Options.TrustExpected && Instance.Expected &&
+      decisive(Measured.Status) && Measured.Status != *Instance.Expected)
+    return makeViolation("portfolio-agreement",
+                         std::string("measured portfolio answered ") +
+                             std::string(toString(Measured.Status)) +
+                             " against ground truth " +
+                             std::string(toString(*Instance.Expected)),
+                         Instance);
+  if (!Options.CheckPortfolio)
+    return std::nullopt;
+  PortfolioResult Racing =
+      runPortfolioRacing(Manager, Instance.Assertions, Backend, SO);
+  if (Racing.Status == SolveStatus::Sat) {
+    std::optional<bool> Holds =
+        evaluateConjunction(Manager, Instance.Assertions, Racing.TheModel);
+    if (!Holds.value_or(false))
+      return makeViolation("portfolio-agreement",
+                           "racing portfolio sat model fails re-evaluation",
+                           Instance);
+  }
+  if (decisive(Measured.Status) && decisive(Racing.Status) &&
+      Measured.Status != Racing.Status)
+    return makeViolation("portfolio-agreement",
+                         std::string("racing answered ") +
+                             std::string(toString(Racing.Status)) +
+                             " but measured answered " +
+                             std::string(toString(Measured.Status)),
+                         Instance);
+  return std::nullopt;
+}
+
+/// reference-agreement: MiniSMT vs. the reference backend (Z3) on the
+/// original constraint. Two decisive answers disagreeing is
+/// self-validating evidence — at most one solver can be right.
+std::optional<Violation> checkReferenceAgreement(TermManager &Manager,
+                                                  const FuzzInstance &Instance,
+                                                  SolverBackend &Backend,
+                                                  const OracleOptions &Options) {
+  if (!Options.Reference)
+    return std::nullopt;
+  SolveResult Mine =
+      Backend.solve(Manager, Instance.Assertions, solveOptions(Options));
+  SolveResult Ref = Options.Reference->solve(Manager, Instance.Assertions,
+                                             solveOptions(Options));
+  if (decisive(Mine.Status) && decisive(Ref.Status) &&
+      Mine.Status != Ref.Status)
+    return makeViolation("reference-agreement",
+                         std::string(Backend.name()) + " answered " +
+                             std::string(toString(Mine.Status)) + " but " +
+                             std::string(Options.Reference->name()) +
+                             " answered " +
+                             std::string(toString(Ref.Status)),
+                         Instance);
+  if (Options.TrustExpected && Instance.Expected && decisive(Ref.Status) &&
+      Ref.Status != *Instance.Expected)
+    return makeViolation("reference-agreement",
+                         "reference solver contradicts planted ground truth",
+                         Instance);
+  return std::nullopt;
+}
+
+using OracleFn = std::optional<Violation> (*)(TermManager &,
+                                              const FuzzInstance &,
+                                              SolverBackend &,
+                                              const OracleOptions &);
+
+struct NamedOracle {
+  std::string_view Name;
+  OracleFn Fn;
+};
+
+constexpr NamedOracle StageOracles[] = {
+    {"planted-truth", checkPlantedTruth},
+    {"pipeline-soundness", checkPipelineSoundness},
+    {"int-translation-exactness", checkIntTranslationExactness},
+    {"bound-monotonicity", checkBoundMonotonicity},
+    {"width-reduction-stability", checkWidthReductionStability},
+    {"portfolio-agreement", checkPortfolioAgreement},
+    {"reference-agreement", checkReferenceAgreement},
+};
+
+} // namespace
+
+std::vector<std::string_view> staub::stageOracleNames() {
+  std::vector<std::string_view> Names;
+  for (const NamedOracle &Oracle : StageOracles)
+    Names.push_back(Oracle.Name);
+  return Names;
+}
+
+std::optional<Violation> staub::runOracleByName(std::string_view Property,
+                                                TermManager &Manager,
+                                                const FuzzInstance &Instance,
+                                                SolverBackend &Backend,
+                                                const OracleOptions &Options) {
+  for (const NamedOracle &Oracle : StageOracles)
+    if (Oracle.Name == Property)
+      return Oracle.Fn(Manager, Instance, Backend, Options);
+  return std::nullopt;
+}
+
+std::optional<Violation> staub::runStageOracles(TermManager &Manager,
+                                                const FuzzInstance &Instance,
+                                                SolverBackend &Backend,
+                                                const OracleOptions &Options) {
+  for (const NamedOracle &Oracle : StageOracles) {
+    if (stopRequested(Options.Cancel))
+      return std::nullopt;
+    if (std::optional<Violation> V =
+            Oracle.Fn(Manager, Instance, Backend, Options))
+      return V;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> staub::checkMetamorphic(TermManager &Manager,
+                                                 const FuzzInstance &Original,
+                                                 const Mutation &Mut,
+                                                 SolverBackend &Backend,
+                                                 const OracleOptions &Options) {
+  if (!Mut.Applied)
+    return std::nullopt;
+  Violation Template{"", "", Mut.Assertions};
+
+  // Witness transport: a planted witness that satisfies the original must
+  // still satisfy the mutant (through the variable renaming). Only claimed
+  // when the witness re-validates on the original right here, so the check
+  // never inherits a stale label.
+  if (Original.Planted) {
+    std::optional<bool> OnOriginal = evaluateConjunction(
+        Manager, Original.Assertions, *Original.Planted);
+    if (OnOriginal.value_or(false)) {
+      Model Transported = remapModel(*Original.Planted, Mut);
+      std::optional<bool> OnMutant =
+          evaluateConjunction(Manager, Mut.Assertions, Transported);
+      if (!OnMutant.value_or(false)) {
+        Template.Property = "metamorphic-planted-lost";
+        Template.Detail = std::string(toString(Mut.Kind)) + " (" + Mut.Note +
+                          ") lost the planted witness";
+        return Template;
+      }
+    }
+  }
+
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+
+  // Verdict stability: every catalog mutation preserves satisfiability,
+  // so two decisive answers must agree.
+  SolveResult OrigResult =
+      Backend.solve(Manager, Original.Assertions, solveOptions(Options));
+  SolveResult MutResult =
+      Backend.solve(Manager, Mut.Assertions, solveOptions(Options));
+  if (decisive(OrigResult.Status) && decisive(MutResult.Status) &&
+      OrigResult.Status != MutResult.Status) {
+    Template.Property = "metamorphic-verdict-flip";
+    Template.Detail = std::string(toString(Mut.Kind)) + " (" + Mut.Note +
+                      ") flipped the verdict from " +
+                      std::string(toString(OrigResult.Status)) + " to " +
+                      std::string(toString(MutResult.Status));
+    return Template;
+  }
+  if (Options.TrustExpected && Original.Expected &&
+      decisive(MutResult.Status) && MutResult.Status != *Original.Expected) {
+    Template.Property = "metamorphic-verdict-flip";
+    Template.Detail = std::string(toString(Mut.Kind)) + " (" + Mut.Note +
+                      "): mutant verdict " +
+                      std::string(toString(MutResult.Status)) +
+                      " contradicts ground truth " +
+                      std::string(toString(*Original.Expected));
+    return Template;
+  }
+
+  // Model transport: for model-preserving mutations, a model the solver
+  // found for the original must satisfy the mutant after renaming. Guard
+  // on the model actually satisfying the original (definedness included)
+  // so a solver-side model bug is not misattributed to the mutation.
+  if (Mut.ModelPreserving && OrigResult.Status == SolveStatus::Sat) {
+    std::optional<bool> OnOriginal = evaluateConjunction(
+        Manager, Original.Assertions, OrigResult.TheModel);
+    if (OnOriginal.value_or(false)) {
+      Model Transported = remapModel(OrigResult.TheModel, Mut);
+      std::optional<bool> OnMutant =
+          evaluateConjunction(Manager, Mut.Assertions, Transported);
+      if (!OnMutant.value_or(false)) {
+        Template.Property = "metamorphic-model-lost";
+        Template.Detail = std::string(toString(Mut.Kind)) + " (" + Mut.Note +
+                          ") lost a solver model of the original";
+        return Template;
+      }
+    }
+  }
+  return std::nullopt;
+}

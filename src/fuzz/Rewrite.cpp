@@ -1,0 +1,52 @@
+//===- fuzz/Rewrite.cpp - Memoized DAG rewriting --------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Rewrite.h"
+
+using namespace staub;
+
+Term TermRewriter::rewrite(Term Root) {
+  // Iterative post-order: a node is pushed unexpanded, then re-pushed as
+  // expanded behind its children, so by the time the expanded copy pops
+  // every child is in the cache.
+  std::vector<std::pair<Term, bool>> Stack = {{Root, false}};
+  while (!Stack.empty()) {
+    auto [T, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (Cache.count(T.id()))
+      continue;
+    if (!Expanded) {
+      Stack.push_back({T, true});
+      // No term is created in this branch, so the children span is stable.
+      for (Term Child : Manager.children(T))
+        if (!Cache.count(Child.id()))
+          Stack.push_back({Child, false});
+      continue;
+    }
+    std::vector<Term> NewChildren;
+    NewChildren.reserve(Manager.numChildren(T));
+    for (Term Child : Manager.childrenCopy(T))
+      NewChildren.push_back(Cache.at(Child.id()));
+    Term Result = Hook ? Hook(Manager, T, NewChildren) : Term();
+    if (!Result.isValid()) {
+      if (NewChildren.empty())
+        Result = T; // Leaves (constants, variables) pass through.
+      else
+        Result = Manager.mkApp(Manager.kind(T), NewChildren, Manager.paramA(T),
+                               Manager.paramB(T));
+    }
+    Cache.emplace(T.id(), Result);
+  }
+  return Cache.at(Root.id());
+}
+
+std::vector<Term> TermRewriter::rewriteAll(const std::vector<Term> &Assertions) {
+  std::vector<Term> Out;
+  Out.reserve(Assertions.size());
+  for (Term Assertion : Assertions)
+    Out.push_back(rewrite(Assertion));
+  return Out;
+}

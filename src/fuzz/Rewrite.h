@@ -1,0 +1,56 @@
+//===- fuzz/Rewrite.h - Memoized DAG rewriting ------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small bottom-up term rewriter shared by the fuzzing subsystem: the
+/// metamorphic mutators rebuild a DAG with one site changed, the stage
+/// oracles scale every constant, and the shrinker collapses subterms. The
+/// walk is iterative (worklist, not recursion) so pathological fuzz inputs
+/// cannot overflow the native stack, and memoized so shared nodes are
+/// rebuilt once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_FUZZ_REWRITE_H
+#define STAUB_FUZZ_REWRITE_H
+
+#include "smtlib/Term.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace staub {
+
+/// Rebuilds term DAGs through a per-node hook. The hook sees the original
+/// node and its already-rewritten children and returns the replacement, or
+/// an invalid Term to request the default rebuild (same kind/params over
+/// the new children; leaves pass through unchanged). The memo cache
+/// persists across roots, so rewriting a whole assertion vector shares
+/// work across assertions exactly like the DAG shares structure.
+class TermRewriter {
+public:
+  /// Hook(Manager, OriginalNode, RewrittenChildren) -> replacement.
+  using NodeHook =
+      std::function<Term(TermManager &, Term, const std::vector<Term> &)>;
+
+  TermRewriter(TermManager &Manager, NodeHook Hook)
+      : Manager(Manager), Hook(std::move(Hook)) {}
+
+  /// Rewrites one root.
+  Term rewrite(Term Root);
+
+  /// Rewrites every assertion, sharing the memo cache.
+  std::vector<Term> rewriteAll(const std::vector<Term> &Assertions);
+
+private:
+  TermManager &Manager;
+  NodeHook Hook;
+  std::unordered_map<uint32_t, Term> Cache;
+};
+
+} // namespace staub
+
+#endif // STAUB_FUZZ_REWRITE_H

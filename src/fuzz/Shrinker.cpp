@@ -1,0 +1,197 @@
+//===- fuzz/Shrinker.cpp - Failure minimization ---------------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+#include "fuzz/Rewrite.h"
+
+using namespace staub;
+
+namespace {
+
+/// Bounded predicate evaluation with counters.
+struct Budget {
+  const FailingPredicate &StillFails;
+  unsigned MaxCandidates;
+  ShrinkStats &Stats;
+
+  bool spent() const { return Stats.TriedCandidates >= MaxCandidates; }
+
+  bool tryCandidate(const std::vector<Term> &Candidate) {
+    if (spent()) {
+      Stats.HitBudget = true;
+      return false;
+    }
+    ++Stats.TriedCandidates;
+    if (!StillFails(Candidate))
+      return false;
+    ++Stats.AcceptedSteps;
+    return true;
+  }
+};
+
+/// All distinct nodes reachable from \p Assertions (pre-order).
+std::vector<Term> reachableNodes(const TermManager &Manager,
+                                 const std::vector<Term> &Assertions) {
+  std::vector<Term> Order;
+  std::vector<bool> Seen;
+  std::vector<Term> Stack(Assertions.rbegin(), Assertions.rend());
+  while (!Stack.empty()) {
+    Term T = Stack.back();
+    Stack.pop_back();
+    if (T.id() >= Seen.size())
+      Seen.resize(T.id() + 1, false);
+    if (Seen[T.id()])
+      continue;
+    Seen[T.id()] = true;
+    Order.push_back(T);
+    auto Children = Manager.childrenCopy(T);
+    Stack.insert(Stack.end(), Children.rbegin(), Children.rend());
+  }
+  return Order;
+}
+
+/// Rebuilds \p Assertions with node \p Target replaced by \p Replacement
+/// (same sort).
+std::vector<Term> replaceNode(TermManager &Manager,
+                              const std::vector<Term> &Assertions, Term Target,
+                              Term Replacement) {
+  TermRewriter Rewriter(Manager,
+                        [&](TermManager &, Term T, const std::vector<Term> &) {
+                          return T == Target ? Replacement : Term();
+                        });
+  return Rewriter.rewriteAll(Assertions);
+}
+
+/// Pass 1: drop whole conjuncts.
+bool tryDropConjunct(std::vector<Term> &Current, Budget &B) {
+  if (Current.size() < 2)
+    return false;
+  for (size_t I = 0; I < Current.size(); ++I) {
+    std::vector<Term> Candidate = Current;
+    Candidate.erase(Candidate.begin() + I);
+    if (B.tryCandidate(Candidate)) {
+      Current = std::move(Candidate);
+      return true;
+    }
+    if (B.spent())
+      return false;
+  }
+  return false;
+}
+
+/// Pass 2: split a top-level `and` into its conjuncts (enables pass 1).
+bool trySplitAnd(TermManager &Manager, std::vector<Term> &Current, Budget &B) {
+  for (size_t I = 0; I < Current.size(); ++I) {
+    if (Manager.kind(Current[I]) != Kind::And)
+      continue;
+    std::vector<Term> Candidate(Current.begin(), Current.begin() + I);
+    auto Children = Manager.childrenCopy(Current[I]);
+    Candidate.insert(Candidate.end(), Children.begin(), Children.end());
+    Candidate.insert(Candidate.end(), Current.begin() + I + 1, Current.end());
+    if (B.tryCandidate(Candidate)) {
+      Current = std::move(Candidate);
+      return true;
+    }
+    if (B.spent())
+      return false;
+  }
+  return false;
+}
+
+/// Pass 3: pull constants toward zero — try zero first (biggest step),
+/// then halving. Reals that are not integers first try their integer
+/// truncation, so `22/7`-style literals simplify structurally too.
+bool tryShrinkConstant(TermManager &Manager, std::vector<Term> &Current,
+                       Budget &B) {
+  for (Term T : reachableNodes(Manager, Current)) {
+    std::vector<Term> Replacements;
+    if (Manager.kind(T) == Kind::ConstInt) {
+      // Copy, not a reference: mkIntConst below can reallocate the
+      // manager's constant pool and dangle a reference.
+      const BigInt V = Manager.intValue(T);
+      if (V.isZero())
+        continue;
+      Replacements.push_back(Manager.mkIntConst(BigInt(0)));
+      BigInt Half = V.divTrunc(BigInt(2));
+      if (!Half.isZero())
+        Replacements.push_back(Manager.mkIntConst(Half));
+    } else if (Manager.kind(T) == Kind::ConstReal) {
+      const Rational V = Manager.realValue(T); // Copy; see above.
+      if (V.numerator().isZero())
+        continue;
+      Replacements.push_back(Manager.mkRealConst(Rational(0)));
+      if (!V.isInteger())
+        Replacements.push_back(Manager.mkRealConst(
+            Rational(V.numerator().divTrunc(V.denominator()))));
+      Rational Half = V * Rational(BigInt(1), BigInt(2));
+      Replacements.push_back(Manager.mkRealConst(Half));
+    } else {
+      continue;
+    }
+    for (Term Replacement : Replacements) {
+      if (Replacement == T)
+        continue;
+      std::vector<Term> Candidate = replaceNode(Manager, Current, T,
+                                                Replacement);
+      if (Candidate == Current)
+        continue;
+      if (B.tryCandidate(Candidate)) {
+        Current = std::move(Candidate);
+        return true;
+      }
+      if (B.spent())
+        return false;
+    }
+  }
+  return false;
+}
+
+/// Pass 4: hoist a same-sorted child over its parent, cutting DAG depth.
+bool tryHoistChild(TermManager &Manager, std::vector<Term> &Current,
+                   Budget &B) {
+  for (Term T : reachableNodes(Manager, Current)) {
+    unsigned N = Manager.numChildren(T);
+    if (N == 0)
+      continue;
+    for (unsigned I = 0; I < N; ++I) {
+      Term Child = Manager.child(T, I);
+      if (Manager.sort(Child) != Manager.sort(T))
+        continue;
+      std::vector<Term> Candidate = replaceNode(Manager, Current, T, Child);
+      if (Candidate == Current)
+        continue;
+      if (B.tryCandidate(Candidate)) {
+        Current = std::move(Candidate);
+        return true;
+      }
+      if (B.spent())
+        return false;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::vector<Term> staub::shrinkAssertions(TermManager &Manager,
+                                          std::vector<Term> Assertions,
+                                          const FailingPredicate &StillFails,
+                                          unsigned MaxCandidates,
+                                          ShrinkStats *Stats) {
+  ShrinkStats Local;
+  ShrinkStats &S = Stats ? *Stats : Local;
+  Budget B{StillFails, MaxCandidates, S};
+  // Greedy first-improvement: any accepted candidate restarts the pass
+  // sequence, so cheap structural reductions are retried after every win.
+  bool Changed = true;
+  while (Changed && !B.spent()) {
+    Changed = tryDropConjunct(Assertions, B) ||
+              trySplitAnd(Manager, Assertions, B) ||
+              tryShrinkConstant(Manager, Assertions, B) ||
+              tryHoistChild(Manager, Assertions, B);
+  }
+  return Assertions;
+}

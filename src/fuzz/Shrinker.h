@@ -1,0 +1,54 @@
+//===- fuzz/Shrinker.h - Failure minimization -------------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over assertion vectors: given a predicate that
+/// re-checks the violated property, repeatedly tries smaller candidates
+/// (drop a conjunct, split a top-level `and`, shrink a constant toward
+/// zero, hoist a subterm over its parent) and keeps any candidate on which
+/// the predicate still fires. The result is the minimal reproducer the
+/// driver prints and persists to the corpus.
+///
+/// The predicate must be *self-validating* (see OracleOptions::
+/// TrustExpected): a shrunk constraint need not keep the original's
+/// sat/unsat status, so predicates may only rely on evidence they
+/// re-establish on the candidate itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_FUZZ_SHRINKER_H
+#define STAUB_FUZZ_SHRINKER_H
+
+#include "smtlib/Term.h"
+
+#include <functional>
+#include <vector>
+
+namespace staub {
+
+/// Returns true when the candidate still reproduces the failure.
+using FailingPredicate = std::function<bool(const std::vector<Term> &)>;
+
+/// Counters for reports and tests.
+struct ShrinkStats {
+  unsigned AcceptedSteps = 0;  ///< Candidates that kept the failure.
+  unsigned TriedCandidates = 0;
+  bool HitBudget = false;      ///< Stopped on MaxCandidates, not fixpoint.
+};
+
+/// Shrinks \p Assertions to a local minimum of the predicate. \p
+/// MaxCandidates bounds the number of predicate evaluations (each one may
+/// run solvers). The input itself is assumed failing and is returned
+/// unchanged if no smaller candidate fails.
+std::vector<Term> shrinkAssertions(TermManager &Manager,
+                                   std::vector<Term> Assertions,
+                                   const FailingPredicate &StillFails,
+                                   unsigned MaxCandidates = 300,
+                                   ShrinkStats *Stats = nullptr);
+
+} // namespace staub
+
+#endif // STAUB_FUZZ_SHRINKER_H

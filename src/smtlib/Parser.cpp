@@ -358,6 +358,22 @@ Term ParserImpl::applyOperator(const std::string &Name, size_t Line) {
       if (Manager.kind(Arg) == Kind::ConstInt)
         Arg = Manager.mkRealConst(Rational(Manager.intValue(Arg)));
 
+  // Fold constant literals the printer spells as applications, so that
+  // parse(print(t)) re-interns the same constants: `(- 5)` is the literal
+  // -5, and `(/ 1.0 3.0)` is the rational 1/3.
+  if (K == Kind::Sub && Args.size() == 1) {
+    if (Manager.kind(Args[0]) == Kind::ConstInt)
+      return Manager.mkIntConst(-Manager.intValue(Args[0]));
+    if (Manager.kind(Args[0]) == Kind::ConstReal)
+      return Manager.mkRealConst(-Manager.realValue(Args[0]));
+  }
+  if (K == Kind::RealDiv && Args.size() == 2 &&
+      Manager.kind(Args[0]) == Kind::ConstReal &&
+      Manager.kind(Args[1]) == Kind::ConstReal &&
+      !Manager.realValue(Args[1]).isZero())
+    return Manager.mkRealConst(Manager.realValue(Args[0]) /
+                               Manager.realValue(Args[1]));
+
   // Light sort validation with a proper diagnostic (the manager asserts).
   auto SortsMatch = [&](bool Condition, const char *Message) -> bool {
     if (!Condition)

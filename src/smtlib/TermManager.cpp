@@ -406,6 +406,13 @@ Term TermManager::mkDistinct(std::span<const Term> Operands) {
 Term TermManager::mkNeg(Term Operand) {
   Sort S = sort(Operand);
   assert((S.isInt() || S.isReal()) && "neg requires Int or Real");
+  // Fold negated literals: `(- 5)` and the integer constant -5 print
+  // identically, so keeping both as distinct terms would break the
+  // parse(print(t)) == t round-trip invariant.
+  if (kind(Operand) == Kind::ConstInt)
+    return mkIntConst(-intValue(Operand));
+  if (kind(Operand) == Kind::ConstReal)
+    return mkRealConst(-realValue(Operand));
   Term Ops[] = {Operand};
   return intern(Kind::Neg, S, Ops);
 }
@@ -463,6 +470,12 @@ Term TermManager::mkIntAbs(Term Operand) {
 
 Term TermManager::mkRealDiv(Term A, Term B) {
   assert(sort(A).isReal() && sort(B).isReal() && "/ requires Real");
+  // Fold literal quotients with a nonzero divisor; a rational constant
+  // prints as `(/ num den)`, so the folded form is the canonical one for
+  // the parse(print(t)) round-trip. Division by zero stays symbolic.
+  if (kind(A) == Kind::ConstReal && kind(B) == Kind::ConstReal &&
+      !realValue(B).isZero())
+    return mkRealConst(realValue(A) / realValue(B));
   Term Ops[] = {A, B};
   return intern(Kind::RealDiv, Sort::real(), Ops);
 }

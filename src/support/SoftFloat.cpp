@@ -297,6 +297,11 @@ bool SoftFloat::ieeeEquals(const SoftFloat &RHS) const {
 }
 
 bool SoftFloat::smtEquals(const SoftFloat &RHS) const {
+  // Values of different formats are never identical (SMT-LIB `=` is only
+  // well-sorted on matching formats, and the term manager relies on this
+  // to never unify constants across formats).
+  if (!(Format == RHS.Format))
+    return false;
   if (isNaN() || RHS.isNaN())
     return isNaN() && RHS.isNaN();
   if (Kind != RHS.Kind)
@@ -349,5 +354,11 @@ size_t SoftFloat::hash() const {
   size_t Hash = static_cast<size_t>(Kind) * 0x9e3779b9;
   Hash ^= Negative ? 0x5555 : 0;
   Hash ^= Value.hash();
-  return Hash * 31 + Format.ExponentBits * 7 + Format.SignificandBits;
+  // (eb << 8) | sb is injective over valid formats (sb <= 113 < 256), so
+  // distinct formats never share a hash bucket; `eb * 7 + sb` was not
+  // ((5,13) and (6,6) collide) and let same-value constants of different
+  // formats unify in the constant pool.
+  return Hash * 31 +
+         ((static_cast<size_t>(Format.ExponentBits) << 8) |
+          Format.SignificandBits);
 }

@@ -1,0 +1,8 @@
+; staub-fuzz reproducer
+; property: int-translation-exactness
+; detail: bounded model converts back but fails the original (guarded translation must be exact without div)
+; seed: 10494772039797929550
+(set-logic QF_NIA)
+(declare-fun nia_stc0_v0 () Int)
+(assert (= (* nia_stc0_v0 nia_stc0_v0 nia_stc0_v0) 3))
+(check-sat)

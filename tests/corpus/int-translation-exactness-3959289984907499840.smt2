@@ -1,0 +1,8 @@
+; staub-fuzz reproducer
+; property: int-translation-exactness
+; detail: bounded model converts back but fails the original (guarded translation must be exact without div)
+; seed: 3959289984907499840
+(set-logic QF_NIA)
+(declare-fun fz99840_y () Int)
+(assert (>= 0 (abs fz99840_y)))
+(check-sat)

@@ -1,0 +1,9 @@
+; staub-fuzz reproducer
+; property: int-translation-exactness
+; detail: bounded model converts back but fails the original (guarded translation must be exact without div)
+; seed: 7011148522454450201
+(set-logic QF_NIA)
+(declare-fun nia_poly0_v1 () Int)
+(declare-fun nia_poly0_v0 () Int)
+(assert (= (+ (* nia_poly0_v0 nia_poly0_v0) 0 (* nia_poly0_v1 nia_poly0_v1)) 0))
+(check-sat)

@@ -1,0 +1,10 @@
+; staub-fuzz reproducer
+; property: pipeline-soundness
+; detail: seeded: float16 rounding near 1/4 must not yield an unverifiable sat
+; seed: 1
+(set-logic QF_NRA)
+(declare-fun r () Real)
+(declare-fun s () Real)
+(assert (>= (* r r) (+ s (/ 1.0 4.0))))
+(assert (<= s 2.0))
+(check-sat)

@@ -1,0 +1,10 @@
+; staub-fuzz reproducer
+; property: width-reduction-stability
+; detail: seeded: narrow lane must agree with the direct 16-bit solve
+; seed: 1
+(set-logic QF_BV)
+(declare-fun a () (_ BitVec 16))
+(declare-fun b () (_ BitVec 16))
+(assert (bvult a #x00ff))
+(assert (= (bvadd a b) #x0100))
+(check-sat)

@@ -1,0 +1,47 @@
+//===- tests/corpus_regression_test.cpp - Replay shrunk reproducers -------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays every checked-in reproducer under tests/corpus/ through the
+// stage oracles (or the width-reduction check, for already-bounded
+// files). Each file is a shrunk constraint that once violated an
+// invariant; replaying them on every CTest run keeps once-found bugs
+// fixed. STAUB_CORPUS_DIR is injected by tests/CMakeLists.txt and points
+// into the source tree, so newly persisted reproducers are picked up
+// without reconfiguring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+#ifndef STAUB_CORPUS_DIR
+#error "tests/CMakeLists.txt must define STAUB_CORPUS_DIR"
+#endif
+
+namespace {
+
+TEST(CorpusRegressionTest, CorpusIsSeeded) {
+  // An empty corpus almost certainly means the path broke, not that every
+  // reproducer was deliberately deleted.
+  EXPECT_FALSE(listCorpusFiles(STAUB_CORPUS_DIR).empty())
+      << "no .smt2 files under " << STAUB_CORPUS_DIR;
+}
+
+TEST(CorpusRegressionTest, EveryReproducerReplaysClean) {
+  for (const std::string &Path : listCorpusFiles(STAUB_CORPUS_DIR)) {
+    CorpusReplayResult Replay = replayCorpusFile(Path);
+    EXPECT_TRUE(Replay.ParseOk) << Path << ": " << Replay.Error;
+    if (Replay.TheViolation)
+      ADD_FAILURE() << Path << " regressed: "
+                    << Replay.TheViolation->Property << ": "
+                    << Replay.TheViolation->Detail;
+  }
+}
+
+} // namespace

@@ -105,12 +105,31 @@ TEST(ParserTest, RealLiteralsAndCoercion) {
 TEST(ParserTest, NegativeLiteralsViaMinus) {
   TermManager M;
   auto R = parseSmtLib(M, "(declare-fun x () Int)\n"
-                          "(assert (>= x (- 2048)))\n");
+                          "(declare-fun r () Real)\n"
+                          "(assert (>= x (- 2048)))\n"
+                          "(assert (<= r (- 2.5)))\n");
   ASSERT_TRUE(R.Ok) << R.Error;
-  Term A = R.Parsed.Assertions[0];
-  Term Rhs = M.child(A, 1);
-  EXPECT_EQ(M.kind(Rhs), Kind::Neg);
-  EXPECT_EQ(M.intValue(M.child(Rhs, 0)).toString(), "2048");
+  // `(- literal)` folds to the negative constant, so that printed scripts
+  // re-parse to the identical term.
+  Term Rhs = M.child(R.Parsed.Assertions[0], 1);
+  EXPECT_EQ(M.kind(Rhs), Kind::ConstInt);
+  EXPECT_EQ(M.intValue(Rhs).toString(), "-2048");
+  Term RealRhs = M.child(R.Parsed.Assertions[1], 1);
+  EXPECT_EQ(M.kind(RealRhs), Kind::ConstReal);
+  EXPECT_EQ(M.realValue(RealRhs).toString(), "-5/2");
+}
+
+TEST(ParserTest, ConstantRealDivisionFolds) {
+  TermManager M;
+  auto R = parseSmtLib(M, "(declare-fun r () Real)\n"
+                          "(assert (= r (/ 1.0 3.0)))\n"
+                          "(assert (= r (/ r 0.0)))\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Term Folded = M.child(R.Parsed.Assertions[0], 1);
+  EXPECT_EQ(M.kind(Folded), Kind::ConstReal);
+  EXPECT_EQ(M.realValue(Folded).toString(), "1/3");
+  // Division by a zero literal must stay symbolic (undefined in SMT-LIB).
+  EXPECT_EQ(M.kind(M.child(R.Parsed.Assertions[1], 1)), Kind::RealDiv);
 }
 
 TEST(ParserTest, FpOperations) {

@@ -1,0 +1,166 @@
+//===- tests/smtlib_roundtrip_test.cpp - Parser/printer round-trip --------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property: parsing a printed script yields terms structurally equal to
+// the originals. Structural equality is checked by cloning the original
+// terms into the parse-side manager — hash consing interns structurally
+// equal terms to the same handle, so Term equality IS structural equality
+// within one manager.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Mutators.h"
+#include "smtlib/Parser.h"
+#include "smtlib/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace staub;
+
+namespace {
+
+/// Distinct variables over all assertions, first-occurrence order.
+std::vector<Term> allVariables(const TermManager &Manager,
+                               const std::vector<Term> &Assertions) {
+  std::vector<Term> Vars;
+  std::vector<bool> Seen;
+  for (Term Assertion : Assertions)
+    for (Term V : Manager.collectVariables(Assertion)) {
+      if (V.id() >= Seen.size())
+        Seen.resize(V.id() + 1, false);
+      if (!Seen[V.id()]) {
+        Seen[V.id()] = true;
+        Vars.push_back(V);
+      }
+    }
+  return Vars;
+}
+
+/// print -> parse -> compare against a cross-manager clone of the input.
+void expectRoundTrip(const TermManager &M,
+                     const std::vector<Term> &Assertions) {
+  Script S;
+  S.Variables = allVariables(M, Assertions);
+  S.Assertions = Assertions;
+  S.HasCheckSat = true;
+  std::string Text = printScript(M, S);
+
+  TermManager M2;
+  ParseResult R = parseSmtLib(M2, Text);
+  ASSERT_TRUE(R.Ok) << R.Error << "\nscript:\n" << Text;
+  ASSERT_EQ(R.Parsed.Assertions.size(), Assertions.size()) << Text;
+
+  TermCloner Cloner(M, M2);
+  for (size_t I = 0; I < Assertions.size(); ++I)
+    EXPECT_EQ(R.Parsed.Assertions[I], Cloner.clone(Assertions[I]))
+        << "assertion " << I << " did not round-trip:\n"
+        << Text;
+}
+
+TEST(RoundTripTest, NegativeAndRationalConstants) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term R = M.mkVariable("r", Sort::real());
+  std::vector<Term> Assertions = {
+      M.mkCompare(Kind::Ge, X, M.mkIntConst(BigInt(-2048))),
+      M.mkCompare(Kind::Lt, R, M.mkRealConst(Rational(BigInt(-5), BigInt(2)))),
+      M.mkEq(R, M.mkRealConst(Rational(BigInt(1), BigInt(3)))),
+  };
+  expectRoundTrip(M, Assertions);
+}
+
+TEST(RoundTripTest, FoldedNegationAndDivision) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  // mkNeg of a literal folds at construction; on a variable it stays a
+  // Neg node and must print/parse back to the same Neg node.
+  EXPECT_EQ(M.kind(M.mkNeg(M.mkIntConst(BigInt(7)))), Kind::ConstInt);
+  Term R = M.mkVariable("r", Sort::real());
+  EXPECT_EQ(M.kind(M.mkRealDiv(M.mkRealConst(Rational(1)),
+                               M.mkRealConst(Rational(3)))),
+            Kind::ConstReal);
+  std::vector<Term> Assertions = {
+      M.mkCompare(Kind::Le, M.mkNeg(X), M.mkIntAbs(X)),
+      M.mkCompare(Kind::Gt, M.mkRealDiv(R, M.mkRealConst(Rational(2))),
+                  M.mkNeg(R)),
+      // Division by a zero literal stays symbolic and must round-trip.
+      M.mkEq(M.mkRealDiv(R, M.mkRealConst(Rational(0))), R),
+  };
+  expectRoundTrip(M, Assertions);
+}
+
+TEST(RoundTripTest, IntOperatorCoverage) {
+  TermManager M;
+  Term X = M.mkVariable("x", Sort::integer());
+  Term Y = M.mkVariable("y", Sort::integer());
+  Term Two = M.mkIntConst(BigInt(2));
+  std::vector<Term> Assertions = {
+      M.mkEq(M.mkIntDiv(X, Two), M.mkIntMod(Y, Two)),
+      M.mkNot(M.mkCompare(Kind::Lt, M.mkIntAbs(M.mkSub(
+                                        std::vector<Term>{X, Y})),
+                          Two)),
+      M.mkImplies(M.mkCompare(Kind::Ge, X, Y),
+                  M.mkEq(M.mkIte(M.mkCompare(Kind::Gt, X, Y), X, Y), X)),
+      M.mkOr(std::vector<Term>{
+          M.mkEq(M.mkMul(std::vector<Term>{X, X, Y}), Two),
+          M.mkDistinct(std::vector<Term>{X, Y})}),
+  };
+  expectRoundTrip(M, Assertions);
+}
+
+TEST(RoundTripTest, BitVecOperatorCoverage) {
+  TermManager M;
+  Term A = M.mkVariable("a", Sort::bitVec(8));
+  Term B = M.mkVariable("b", Sort::bitVec(8));
+  std::vector<Term> Assertions = {
+      M.mkApp(Kind::BvUle, std::vector<Term>{M.mkApp(
+                               Kind::BvAdd, std::vector<Term>{A, B}),
+                           M.mkBitVecConst(BitVecValue(8, 200))}),
+      M.mkEq(M.mkBvExtract(7, 4, A), M.mkBvExtract(3, 0, B)),
+      M.mkEq(M.mkBvZeroExtend(8, A),
+             M.mkApp(Kind::BvConcat, std::vector<Term>{B, A})),
+      M.mkApp(Kind::BvSlt, std::vector<Term>{M.mkBvSignExtend(4, B),
+                                             M.mkBvSignExtend(4, A)}),
+  };
+  expectRoundTrip(M, Assertions);
+}
+
+TEST(RoundTripTest, FuzzInstancesRoundTripInt) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    TermManager M;
+    FuzzInstance Instance =
+        buildFuzzInstance(M, FuzzTheory::Int, fuzzIterationSeed(Seed, 0));
+    expectRoundTrip(M, Instance.Assertions);
+  }
+}
+
+TEST(RoundTripTest, FuzzInstancesRoundTripReal) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    TermManager M;
+    FuzzInstance Instance =
+        buildFuzzInstance(M, FuzzTheory::Real, fuzzIterationSeed(Seed, 0));
+    expectRoundTrip(M, Instance.Assertions);
+  }
+}
+
+TEST(RoundTripTest, MutatedInstancesRoundTrip) {
+  // Mutants exercise rewritten shapes (renamed variables, scaled
+  // comparisons, planted equalities) the raw generators never emit.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    TermManager M;
+    uint64_t IterSeed = fuzzIterationSeed(Seed, 7);
+    FuzzTheory Theory = Seed % 2 ? FuzzTheory::Int : FuzzTheory::Real;
+    FuzzInstance Instance = buildFuzzInstance(M, Theory, IterSeed);
+    SplitMix64 Rng(IterSeed);
+    const Model *Planted = Instance.Planted ? &*Instance.Planted : nullptr;
+    Mutation Mut = applyRandomMutation(M, Instance.Assertions, Planted, Rng);
+    if (Mut.Applied)
+      expectRoundTrip(M, Mut.Assertions);
+  }
+}
+
+} // namespace

@@ -58,6 +58,24 @@ TEST(TermManagerTest, ConstantsRoundTrip) {
   EXPECT_FALSE(M.boolValue(M.mkFalse()));
 }
 
+TEST(TermManagerTest, FpConstantsOfDifferentFormatsStayDistinct) {
+  // Same numeric value in two formats must intern as two constants, each
+  // carrying a payload whose format matches its sort. A hash collision
+  // between the (5,13) and (6,6) formats used to merge the payloads,
+  // producing a constant whose fpValue() disagreed with its sort.
+  TermManager M;
+  FpFormat Narrow{6, 6};
+  FpFormat Wide{5, 13};
+  Term A = M.mkFpConst(SoftFloat::fromRational(Wide, Rational(2)));
+  Term B = M.mkFpConst(SoftFloat::fromRational(Narrow, Rational(2)));
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(M.fpValue(A).format() == M.sort(A).fpFormat());
+  EXPECT_TRUE(M.fpValue(B).format() == M.sort(B).fpFormat());
+  // Re-interning either format still finds the right constant.
+  EXPECT_EQ(M.mkFpConst(SoftFloat::fromRational(Narrow, Rational(2))), B);
+  EXPECT_EQ(M.mkFpConst(SoftFloat::fromRational(Wide, Rational(2))), A);
+}
+
 TEST(TermManagerTest, SortComputation) {
   TermManager M;
   Term X = M.mkVariable("x", Sort::integer());

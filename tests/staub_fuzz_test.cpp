@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Fuzzer.h"
 #include "smtlib/Printer.h"
 #include "staub/Staub.h"
 #include "support/Random.h"
@@ -141,5 +142,95 @@ TEST_P(StaubRealFuzzTest, RealPipelineNeverInventsModels) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaubRealFuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(41)));
+
+class StaubMixedFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaubMixedFuzzTest, MixedSortPipelineNeverInventsModels) {
+  // Conjunctions mixing Int atoms with Real atoms: the translation may
+  // legally give up on the unfamiliar sort mix (TranslationFailed /
+  // BoundedUnknown), but a VerifiedSat answer must still carry a model
+  // the exact evaluator accepts on the whole original conjunction.
+  SplitMix64 Rng(GetParam() * 7919 + 5);
+  TermManager M;
+  std::string Prefix = "fm" + std::to_string(GetParam());
+  auto Assertions = randomIntConstraint(M, Rng, Prefix);
+
+  Term R = M.mkVariable(Prefix + "_q", Sort::real());
+  std::vector<Term> RealPool = {
+      R, M.mkRealConst(Rational(BigInt(Rng.range(-12, 12)), BigInt(4))),
+      M.mkRealConst(Rational(Rng.range(1, 9)))};
+  for (int I = 0; I < 3; ++I) {
+    Term A = RealPool[Rng.below(RealPool.size())];
+    Term B = RealPool[Rng.below(RealPool.size())];
+    RealPool.push_back(Rng.chance(1, 2)
+                           ? M.mkAdd(std::vector<Term>{A, B})
+                           : M.mkMul(std::vector<Term>{A, B}));
+  }
+  constexpr Kind Cmps[] = {Kind::Le, Kind::Lt, Kind::Ge, Kind::Gt};
+  unsigned RealAtoms = 1 + Rng.below(2);
+  for (unsigned I = 0; I < RealAtoms; ++I)
+    Assertions.push_back(
+        M.mkCompare(Cmps[Rng.below(4)], RealPool[Rng.below(RealPool.size())],
+                    RealPool[Rng.below(RealPool.size())]));
+
+  auto Mini = createMiniSmtSolver();
+  StaubOptions Options;
+  Options.Solve.TimeoutSeconds = 5.0;
+  StaubOutcome Outcome = runStaub(M, Assertions, *Mini, Options);
+  if (Outcome.Path == StaubPath::VerifiedSat)
+    ASSERT_TRUE(
+        evaluatesToTrue(M, M.mkAnd(Assertions), Outcome.VerifiedModel))
+        << "seed " << GetParam() << "\n"
+        << printTerm(M, M.mkAnd(Assertions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaubMixedFuzzTest,
+                         ::testing::Range(uint64_t(1), uint64_t(31)));
+
+//===--------------------------------------------------------------------===//
+// The fuzz engine itself: oracle sensitivity and clean-run behavior.
+//===--------------------------------------------------------------------===//
+
+TEST(FuzzEngineTest, InjectedGuardDropIsCaughtAndShrunk) {
+  // Dropping the overflow guards breaks the exactness theorem (paper
+  // Sec. 4.3); the int-translation-exactness oracle must notice, and the
+  // shrinker must reduce the reproducer to a handful of assertions.
+  FuzzOptions Options;
+  Options.Seed = 5;
+  Options.Iterations = 12;
+  Options.Theory = FuzzTheory::Int;
+  Options.Inject = BugInjection::DropOverflowGuards;
+  Options.CheckPortfolio = false;
+  Options.MaxViolations = 2;
+  Options.SolveTimeoutSeconds = 2.0;
+  FuzzReport Report = runFuzzer(Options);
+
+  ASSERT_FALSE(Report.Violations.empty())
+      << "oracles failed to detect a deliberately injected soundness bug";
+  for (const FuzzViolationReport &V : Report.Violations) {
+    EXPECT_EQ(V.Property, "int-translation-exactness");
+    EXPECT_GE(V.ShrunkAssertionCount, 1u);
+    EXPECT_LE(V.ShrunkAssertionCount, 10u)
+        << "shrinker left a bloated reproducer:\n" << V.ShrunkSmtLib;
+    EXPECT_NE(V.ShrunkSmtLib.find("(check-sat)"), std::string::npos);
+  }
+}
+
+TEST(FuzzEngineTest, CleanCampaignFindsNothing) {
+  // Seed/range picked so every instance solves far inside the budget; a
+  // timed-out oracle is a skip, not a pass, so fast instances keep this
+  // an actual check.
+  FuzzOptions Options;
+  Options.Seed = 4;
+  Options.Iterations = 8;
+  Options.Theory = FuzzTheory::Int;
+  Options.CheckPortfolio = false;
+  FuzzReport Report = runFuzzer(Options);
+  EXPECT_EQ(Report.IterationsRun, 8u);
+  EXPECT_GT(Report.MutantsChecked, 0u);
+  for (const FuzzViolationReport &V : Report.Violations)
+    ADD_FAILURE() << V.Property << ": " << V.Detail << "\n"
+                  << V.OriginalSmtLib;
+}
 
 } // namespace

@@ -125,6 +125,23 @@ TEST(SoftFloatTest, RoundedArithmeticMatchesExactRounding) {
   EXPECT_TRUE(Sum.smtEquals(Expected));
 }
 
+TEST(SoftFloatTest, SmtEqualityDistinguishesFormats) {
+  // Same numeric value, different formats: never identical. The formats
+  // (5,13) and (6,6) used to collide in hash() (5*7+13 == 6*7+6), which
+  // let the term manager's constant pool unify them — found by staub-fuzz
+  // (real theory, seed 1, iteration 171).
+  FpFormat Narrow{6, 6};
+  FpFormat Wide{5, 13};
+  SoftFloat A = SoftFloat::fromRational(Narrow, rat(2));
+  SoftFloat B = SoftFloat::fromRational(Wide, rat(2));
+  EXPECT_FALSE(A.smtEquals(B));
+  EXPECT_FALSE(SoftFloat::nan(Narrow).smtEquals(SoftFloat::nan(Wide)));
+  EXPECT_FALSE(
+      SoftFloat::zero(Narrow, false).smtEquals(SoftFloat::zero(Wide, false)));
+  EXPECT_NE(A.hash(), B.hash());
+  EXPECT_TRUE(A.smtEquals(A));
+}
+
 TEST(SoftFloatTest, Comparisons) {
   FpFormat F32 = FpFormat::float32();
   SoftFloat One = SoftFloat::fromRational(F32, rat(1));
