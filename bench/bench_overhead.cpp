@@ -54,6 +54,7 @@ BENCHMARK(BM_BoundInference)->Range(64, 8192)->Complexity(benchmark::oN);
 void BM_Translation(benchmark::State &State) {
   TermManager M;
   auto Assertions = buildChain(M, State.range(0), "tr");
+  unsigned Emitted = 0, Elided = 0;
   for (auto _ : State) {
     // Note: hash consing makes repeated translation cheaper after the
     // first iteration; a fresh manager per iteration would measure cold
@@ -61,10 +62,42 @@ void BM_Translation(benchmark::State &State) {
     // which is the relevant regime for portfolio deployment.
     TransformResult R = transformIntToBv(M, Assertions, 24);
     benchmark::DoNotOptimize(R.Ok);
+    Emitted = R.GuardsEmitted;
+    Elided = R.GuardsElided;
   }
+  State.counters["guards_emitted"] = Emitted;
+  State.counters["guards_elided"] = Elided;
   State.SetComplexityN(State.range(0));
 }
 BENCHMARK(BM_Translation)->Range(64, 8192)->Complexity(benchmark::oN);
+
+void BM_TranslationWithRangeFacts(benchmark::State &State) {
+  // Same chain, but every variable carries an asserted box small enough
+  // that the interval analysis discharges the overflow guards; measures
+  // the elision path end to end (analysis + translation) and reports how
+  // many guards survive.
+  TermManager M;
+  auto Assertions = buildChain(M, State.range(0), "te");
+  for (Term Var : M.collectVariables(Assertions[0])) {
+    Assertions.push_back(
+        M.mkCompare(Kind::Le, Var, M.mkIntConst(BigInt(15))));
+    Assertions.push_back(
+        M.mkCompare(Kind::Ge, Var, M.mkIntConst(BigInt(-15))));
+  }
+  unsigned Emitted = 0, Elided = 0;
+  for (auto _ : State) {
+    TransformResult R = transformIntToBv(M, Assertions, 24);
+    benchmark::DoNotOptimize(R.Ok);
+    Emitted = R.GuardsEmitted;
+    Elided = R.GuardsElided;
+  }
+  State.counters["guards_emitted"] = Emitted;
+  State.counters["guards_elided"] = Elided;
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_TranslationWithRangeFacts)
+    ->Range(64, 8192)
+    ->Complexity(benchmark::oN);
 
 void BM_VerificationCheck(benchmark::State &State) {
   TermManager M;

@@ -80,11 +80,21 @@ int main(int Argc, char **Argv) {
           ++Intersection[Cfg];
       }
     }
-    std::printf("%-8s | %6u %6u %6u | %6u %6u %6u | %6u %6u %6u\n",
+    // Guard accounting for the inferred-width (STAUB) config. Translation
+    // is solver-independent, so either solver's records would do.
+    unsigned long Emitted = 0, Elided = 0;
+    for (const EvalRecord &R : All[0][2]) {
+      Emitted += R.GuardsEmitted;
+      Elided += R.GuardsElided;
+    }
+    unsigned long Total = Emitted + Elided;
+    std::printf("%-8s | %6u %6u %6u | %6u %6u %6u | %6u %6u %6u  "
+                "guards: emitted %lu, elided %lu (%.0f%%)\n",
                 std::string(toString(Logic)).c_str(), Counts[0][0],
                 Counts[0][1], Counts[0][2], Counts[1][0], Counts[1][1],
                 Counts[1][2], Intersection[0], Intersection[1],
-                Intersection[2]);
+                Intersection[2], Emitted, Elided,
+                Total ? 100.0 * double(Elided) / double(Total) : 0.0);
   }
   std::printf("\n(paper Table 2: NIA dominates — e.g. Z3 305, CVC5 3241 at "
               "300s; LRA all zeros)\n\n");

@@ -1,0 +1,96 @@
+//===- analysis/Dataflow.h - Memoized DAG abstract interpretation -*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic, memoized dataflow framework over the hash-consed term DAG.
+/// A Domain supplies an abstract value type and a transfer function; the
+/// framework evaluates terms bottom-up in a single pass, memoizing per
+/// node id, so every analysis is linear in the DAG size regardless of
+/// sharing (the same property the paper relies on in Sec. 6.1 for bound
+/// inference — which is itself one client of this framework, see
+/// analysis/Widths.h).
+///
+/// Domain concept:
+///
+///   struct MyDomain {
+///     using Value = ...;                 // the abstract value
+///     Value transfer(Term T, const std::vector<Value> &Children) const;
+///   };
+///
+/// The transfer function receives the term (for kind/sort/param queries
+/// and pattern matching on child *terms*) plus the already-computed child
+/// values in order. Transfer functions must not create new terms: the
+/// framework iterates `TermManager::children()` spans, which any term
+/// creation invalidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_ANALYSIS_DATAFLOW_H
+#define STAUB_ANALYSIS_DATAFLOW_H
+
+#include "smtlib/Term.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace staub::analysis {
+
+/// Bottom-up evaluator for one Domain over one TermManager. Values are
+/// memoized by term id; evaluating a second root reuses everything shared
+/// with the first.
+template <typename Domain> class DagAnalysis {
+public:
+  using Value = typename Domain::Value;
+
+  DagAnalysis(const TermManager &Manager, Domain D)
+      : Manager(Manager), TheDomain(std::move(D)) {}
+
+  /// Returns the abstract value of \p Root, computing (and caching) the
+  /// values of all reachable nodes first. Iterative post-order: safe on
+  /// the deep chains the benches build.
+  const Value &get(Term Root) {
+    auto Hit = Memo.find(Root.id());
+    if (Hit != Memo.end())
+      return Hit->second;
+    // Explicit stack of (term, children-already-pushed).
+    std::vector<std::pair<Term, bool>> Stack;
+    Stack.push_back({Root, false});
+    while (!Stack.empty()) {
+      auto [T, Expanded] = Stack.back();
+      Stack.pop_back();
+      if (Memo.count(T.id()))
+        continue;
+      if (!Expanded) {
+        Stack.push_back({T, true});
+        for (Term Child : Manager.children(T))
+          if (!Memo.count(Child.id()))
+            Stack.push_back({Child, false});
+        continue;
+      }
+      std::vector<Value> Children;
+      Children.reserve(Manager.numChildren(T));
+      for (Term Child : Manager.children(T))
+        Children.push_back(Memo.at(Child.id()));
+      Memo.emplace(T.id(), TheDomain.transfer(T, Children));
+    }
+    return Memo.at(Root.id());
+  }
+
+  const Domain &domain() const { return TheDomain; }
+
+  /// Number of memoized nodes (for tests asserting linearity).
+  size_t memoSize() const { return Memo.size(); }
+
+private:
+  const TermManager &Manager;
+  Domain TheDomain;
+  std::unordered_map<uint32_t, Value> Memo;
+};
+
+} // namespace staub::analysis
+
+#endif // STAUB_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,182 @@
+//===- analysis/KnownBits.cpp - Known-bits domain for bitvectors ----------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KnownBits.h"
+
+using namespace staub;
+using namespace staub::analysis;
+
+namespace {
+
+/// A W-bit value with no known bits.
+KnownBits unknown(unsigned Width) { return {Width, 0, 0}; }
+
+KnownBits fromValue(unsigned Width, uint64_t Value) {
+  uint64_t Mask = KnownBits::maskOf(Width);
+  Value &= Mask;
+  return {Width, ~Value & Mask, Value};
+}
+
+bool allFullyKnown(const std::vector<KnownBits> &Children) {
+  for (const KnownBits &C : Children)
+    if (!C.fullyKnown())
+      return false;
+  return !Children.empty();
+}
+
+} // namespace
+
+KnownBits
+KnownBitsDomain::transfer(Term T,
+                          const std::vector<KnownBits> &Children) const {
+  Sort S = Manager.sort(T);
+  if (!S.isBitVec())
+    return KnownBits::top();
+  unsigned W = S.bitVecWidth();
+  if (W > 64)
+    return KnownBits::top();
+  uint64_t Mask = KnownBits::maskOf(W);
+  // Any top (or wider-than-64) child forfeits all knowledge.
+  for (const KnownBits &C : Children)
+    if (!C.hasInfo())
+      return unknown(W);
+
+  Kind K = Manager.kind(T);
+  switch (K) {
+  case Kind::ConstBitVec: {
+    // toSigned() fits int64 for widths up to 64; the cast recovers the
+    // two's-complement bit pattern.
+    auto V = Manager.bitVecValue(T).toSigned().toInt64();
+    if (!V)
+      return unknown(W);
+    return fromValue(W, static_cast<uint64_t>(*V));
+  }
+
+  case Kind::BvAnd: {
+    KnownBits R = {W, 0, Mask}; // Identity: all ones.
+    for (const KnownBits &C : Children) {
+      R.One &= C.One;
+      R.Zero |= C.Zero;
+    }
+    R.Zero &= Mask;
+    return R;
+  }
+  case Kind::BvOr: {
+    KnownBits R = {W, Mask, 0}; // Identity: all zeros.
+    for (const KnownBits &C : Children) {
+      R.One |= C.One;
+      R.Zero &= C.Zero;
+    }
+    R.One &= Mask;
+    return R;
+  }
+  case Kind::BvXor: {
+    uint64_t Known = Mask;
+    uint64_t Val = 0;
+    for (const KnownBits &C : Children) {
+      Known &= C.Zero | C.One;
+      Val ^= C.One;
+    }
+    return {W, Known & ~Val & Mask, Known & Val};
+  }
+  case Kind::BvNot:
+    return {W, Children[0].One, Children[0].Zero};
+
+  case Kind::BvShl:
+  case Kind::BvLshr:
+  case Kind::BvAshr: {
+    if (!Children[1].fullyKnown())
+      return unknown(W);
+    uint64_t Amount = Children[1].value();
+    const KnownBits &A = Children[0];
+    if (Amount >= W) {
+      if (K == Kind::BvShl || K == Kind::BvLshr)
+        return fromValue(W, 0);
+      // ashr by >= W replicates the sign bit everywhere.
+      uint64_t SignBit = uint64_t(1) << (W - 1);
+      if (A.Zero & SignBit)
+        return fromValue(W, 0);
+      if (A.One & SignBit)
+        return fromValue(W, Mask);
+      return unknown(W);
+    }
+    unsigned Sh = static_cast<unsigned>(Amount);
+    uint64_t HighMask = Mask & ~(Mask >> Sh); // The Sh vacated high bits.
+    if (K == Kind::BvShl)
+      return {W, ((A.Zero << Sh) | KnownBits::maskOf(Sh)) & Mask,
+              (A.One << Sh) & Mask};
+    if (K == Kind::BvLshr)
+      return {W, (A.Zero >> Sh) | HighMask, A.One >> Sh};
+    // ashr: the vacated bits take the sign bit's knowledge.
+    uint64_t SignBit = uint64_t(1) << (W - 1);
+    KnownBits R = {W, A.Zero >> Sh, A.One >> Sh};
+    if (A.Zero & SignBit)
+      R.Zero |= HighMask;
+    else if (A.One & SignBit)
+      R.One |= HighMask;
+    return R;
+  }
+
+  case Kind::BvExtract: {
+    unsigned Low = Manager.paramB(T);
+    const KnownBits &A = Children[0];
+    return {W, (A.Zero >> Low) & Mask, (A.One >> Low) & Mask};
+  }
+  case Kind::BvConcat: {
+    KnownBits R = {0, 0, 0};
+    for (const KnownBits &C : Children) {
+      R.Zero = (R.Zero << C.Width) | C.Zero;
+      R.One = (R.One << C.Width) | C.One;
+      R.Width += C.Width;
+    }
+    R.Width = W;
+    return R;
+  }
+  case Kind::BvZeroExtend: {
+    const KnownBits &A = Children[0];
+    uint64_t High = Mask & ~KnownBits::maskOf(A.Width);
+    return {W, A.Zero | High, A.One};
+  }
+  case Kind::BvSignExtend: {
+    const KnownBits &A = Children[0];
+    uint64_t High = Mask & ~KnownBits::maskOf(A.Width);
+    uint64_t SignBit = uint64_t(1) << (A.Width - 1);
+    KnownBits R = {W, A.Zero, A.One};
+    if (A.Zero & SignBit)
+      R.Zero |= High;
+    else if (A.One & SignBit)
+      R.One |= High;
+    return R;
+  }
+
+  case Kind::BvNeg:
+  case Kind::BvAdd:
+  case Kind::BvSub:
+  case Kind::BvMul: {
+    // Wrapping arithmetic: exact when every operand is fully known.
+    if (!allFullyKnown(Children))
+      return unknown(W);
+    uint64_t Acc = Children[0].value();
+    if (K == Kind::BvNeg)
+      Acc = ~Acc + 1;
+    for (size_t I = 1; I < Children.size(); ++I) {
+      uint64_t V = Children[I].value();
+      if (K == Kind::BvAdd)
+        Acc += V;
+      else if (K == Kind::BvSub)
+        Acc -= V;
+      else
+        Acc *= V;
+    }
+    return fromValue(W, Acc);
+  }
+
+  default:
+    // Division/remainder (edge-case-laden), ite, anything else: width
+    // known, bits unknown.
+    return unknown(W);
+  }
+}

@@ -1,0 +1,71 @@
+//===- analysis/KnownBits.h - Known-bits domain for bitvectors --*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A known-bits abstract domain for bitvector terms: per bit, whether the
+/// value is known to be 0 or 1 in every model. Constants are fully
+/// known; the bitwise operators, shifts by constants, extract/concat and
+/// the extensions propagate bit knowledge precisely; arithmetic results
+/// are tracked when all operands are fully known (evaluated exactly) and
+/// top otherwise. Widths above 64 bits collapse to top — STAUB's widths
+/// are capped well below that (staub/Config.h).
+///
+/// staub-lint consumes this domain to evaluate guard predicates whose
+/// operands are fully known: a guard that provably always fires makes
+/// the bounded constraint vacuously unsat (legal but suspicious), and
+/// one that provably never fires is redundant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_ANALYSIS_KNOWNBITS_H
+#define STAUB_ANALYSIS_KNOWNBITS_H
+
+#include "smtlib/Term.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace staub::analysis {
+
+/// Bit knowledge for one term. Width == 0 means "no information" (top,
+/// or a non-bitvector term). Invariant: Zero & One == 0, and both masks
+/// fit in the low Width bits.
+struct KnownBits {
+  unsigned Width = 0;
+  uint64_t Zero = 0; ///< Bits known to be 0.
+  uint64_t One = 0;  ///< Bits known to be 1.
+
+  static KnownBits top() { return {}; }
+
+  static uint64_t maskOf(unsigned Width) {
+    return Width >= 64 ? ~uint64_t(0) : (uint64_t(1) << Width) - 1;
+  }
+
+  bool hasInfo() const { return Width != 0; }
+  bool fullyKnown() const {
+    return Width != 0 && (Zero | One) == maskOf(Width);
+  }
+  /// The exact unsigned value; only meaningful when fullyKnown().
+  uint64_t value() const { return One; }
+  bool operator==(const KnownBits &RHS) const = default;
+};
+
+/// Known-bits domain, a Dataflow.h client.
+class KnownBitsDomain {
+public:
+  using Value = KnownBits;
+
+  explicit KnownBitsDomain(const TermManager &Manager) : Manager(Manager) {}
+
+  KnownBits transfer(Term T, const std::vector<KnownBits> &Children) const;
+
+private:
+  const TermManager &Manager;
+};
+
+} // namespace staub::analysis
+
+#endif // STAUB_ANALYSIS_KNOWNBITS_H

@@ -1,0 +1,171 @@
+//===- analysis/Widths.cpp - Width domains as framework clients -----------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Widths.h"
+
+#include <algorithm>
+#include <climits>
+
+using namespace staub;
+using namespace staub::analysis;
+
+namespace {
+
+unsigned capped(unsigned Value, unsigned Cap) { return std::min(Value, Cap); }
+
+} // namespace
+
+unsigned analysis::widthOfInterval(const Interval &I) {
+  if (I.Empty)
+    return 1;
+  if (!I.isFinite())
+    return UINT_MAX;
+  return std::max(I.Lo->floor().minSignedWidth(),
+                  I.Hi->ceil().minSignedWidth());
+}
+
+unsigned analysis::magnitudeOfInterval(const Interval &I) {
+  if (I.Empty)
+    return 1;
+  if (!I.isFinite())
+    return UINT_MAX;
+  Rational M = std::max(I.Lo->abs(), I.Hi->abs());
+  return M.ceil().minSignedWidth();
+}
+
+unsigned IntWidthDomain::transfer(Term T,
+                                  const std::vector<unsigned> &Children) const {
+  auto MaxChild = [&] {
+    unsigned Max = 1;
+    for (unsigned W : Children)
+      Max = std::max(Max, W);
+    return Max;
+  };
+
+  unsigned Classic;
+  switch (Manager.kind(T)) {
+  case Kind::ConstBool:
+    Classic = 1; // alpha(boolean) = 1.
+    break;
+  case Kind::ConstInt:
+    Classic = capped(Manager.intValue(T).minSignedWidth(), Options.Cap);
+    break;
+  case Kind::Variable:
+    Classic = Manager.sort(T).isBool() ? 1 : Options.Assumption;
+    break;
+  case Kind::Neg:
+  case Kind::IntAbs:
+    // |-(-2^(w-1))| needs one more signed bit.
+    Classic = capped(Children[0] + 1, Options.Cap);
+    break;
+  case Kind::Add:
+  case Kind::Sub:
+    // Each 2-ary (left-assoc) step can add one bit.
+    Classic = capped(MaxChild() + (Children.size() - 1), Options.Cap);
+    break;
+  case Kind::Mul: {
+    unsigned Sum = 0;
+    for (unsigned W : Children)
+      Sum = capped(Sum + W, Options.Cap);
+    Classic = Sum;
+    break;
+  }
+  case Kind::IntDiv:
+    // |quotient| <= |dividend| for |divisor| >= 1; one extra bit covers
+    // the sign-flip edge case (MIN / -1).
+    Classic = capped(Children[0] + 1, Options.Cap);
+    break;
+  case Kind::IntMod:
+    // 0 <= mod < |divisor|.
+    Classic = Children[1];
+    break;
+  default:
+    // Boolean connectives, comparisons, ite, eq, distinct: propagate
+    // the maximum width of the children (Fig. 5a "boolop").
+    Classic = MaxChild();
+    break;
+  }
+
+  if (Options.Refine) {
+    unsigned FromInterval = widthOfInterval(Options.Refine->of(T));
+    if (FromInterval < Classic)
+      return capped(std::max(FromInterval, 1u), Options.Cap);
+  }
+  return Classic;
+}
+
+MagPrec RealWidthDomain::transfer(Term T,
+                                  const std::vector<MagPrec> &Children) const {
+  auto JoinChildren = [&] {
+    MagPrec Out{1, 0};
+    for (const MagPrec &V : Children) {
+      Out.Magnitude = std::max(Out.Magnitude, V.Magnitude);
+      Out.Precision = std::max(Out.Precision, V.Precision);
+    }
+    return Out;
+  };
+  auto OfRational = [&](const Rational &V) {
+    MagPrec Out;
+    // Magnitude: bits of ceil(|c|) plus a sign bit (Eq. 4). Precision:
+    // dig(c); non-terminating binary expansions count as "large".
+    Out.Magnitude = V.abs().ceil().minSignedWidth();
+    auto Dig = V.binaryPrecision();
+    Out.Precision = Dig ? *Dig : Options.NonTerminatingPrecision;
+    return Out;
+  };
+
+  MagPrec R;
+  switch (Manager.kind(T)) {
+  case Kind::ConstBool:
+    R = {1, 0};
+    break;
+  case Kind::ConstReal:
+    R = OfRational(Manager.realValue(T));
+    break;
+  case Kind::ConstInt: // Int constants coerced into real positions.
+    R = {Manager.intValue(T).minSignedWidth(), 0};
+    break;
+  case Kind::Variable:
+    R = Manager.sort(T).isBool() ? MagPrec{1, 0} : Options.Assumption;
+    break;
+  case Kind::Neg:
+    R = {Children[0].Magnitude + 1, Children[0].Precision};
+    break;
+  case Kind::Add:
+  case Kind::Sub: {
+    MagPrec Join = JoinChildren();
+    R = {Join.Magnitude + static_cast<unsigned>(Children.size() - 1),
+         Join.Precision};
+    break;
+  }
+  case Kind::Mul: {
+    R = {0, 0};
+    for (const MagPrec &V : Children) {
+      R.Magnitude += V.Magnitude;
+      R.Precision += V.Precision;
+    }
+    break;
+  }
+  case Kind::RealDiv:
+    // The paper's modified division semantics: (m1+m2, p1+p2), keeping
+    // the result finite at the cost of further underapproximation.
+    R = {Children[0].Magnitude + Children[1].Magnitude,
+         Children[0].Precision + Children[1].Precision};
+    break;
+  default:
+    R = JoinChildren();
+    break;
+  }
+
+  if (Options.Refine) {
+    unsigned FromInterval = magnitudeOfInterval(Options.Refine->of(T));
+    if (FromInterval < R.Magnitude)
+      R.Magnitude = std::max(FromInterval, 1u);
+  }
+  R.Magnitude = capped(R.Magnitude, Options.MagnitudeCap);
+  R.Precision = capped(R.Precision, Options.PrecisionCap);
+  return R;
+}

@@ -1,0 +1,104 @@
+//===- analysis/Widths.h - Width domains as framework clients ---*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's bound-inference domains (Sec. 4.2, Fig. 5) restated as
+/// Dataflow.h clients: bit widths for integer terms and
+/// (magnitude, precision) pairs for real terms. staub/BoundInference.cpp
+/// is a thin adapter over these.
+///
+/// Both domains take an optional IntervalSummary: when present, each
+/// node's abstract value is tightened to
+/// min(classic transfer, width of the node's interval), so harvested
+/// range facts (`x <= 100`) shrink inferred widths beyond what the
+/// largest-constant assumption alone gives. The refinement is sound for
+/// the same reason the classic transfer is: with variables clamped to
+/// the assumption range, the interval over-approximates every value the
+/// node can take, and a value set within [-2^(w-1), 2^(w-1)-1] fits w
+/// bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_ANALYSIS_WIDTHS_H
+#define STAUB_ANALYSIS_WIDTHS_H
+
+#include "analysis/Interval.h"
+#include "smtlib/Term.h"
+
+#include <vector>
+
+namespace staub::analysis {
+
+/// Smallest signed bit width holding every integer in \p I, or UINT_MAX
+/// when \p I is unbounded on either side (no refinement possible).
+unsigned widthOfInterval(const Interval &I);
+
+/// Magnitude bits (ceil of the largest |value|, as a signed width) of
+/// \p I, or UINT_MAX when unbounded.
+unsigned magnitudeOfInterval(const Interval &I);
+
+/// Options for the integer width domain.
+struct IntWidthOptions {
+  /// The paper's variable assumption `x`.
+  unsigned Assumption = 1;
+  /// Cap on all abstract widths.
+  unsigned Cap = 64;
+  /// Optional interval refinement (must outlive the domain).
+  const IntervalSummary *Refine = nullptr;
+};
+
+/// Integer width domain (Fig. 5a).
+class IntWidthDomain {
+public:
+  using Value = unsigned;
+
+  IntWidthDomain(const TermManager &Manager, IntWidthOptions Options)
+      : Manager(Manager), Options(Options) {}
+
+  unsigned transfer(Term T, const std::vector<unsigned> &Children) const;
+
+private:
+  const TermManager &Manager;
+  IntWidthOptions Options;
+};
+
+/// Real abstract value: (magnitude, precision) with the product order of
+/// the paper's Eq. 3.
+struct MagPrec {
+  unsigned Magnitude = 1;
+  unsigned Precision = 0;
+};
+
+/// Options for the real (magnitude, precision) domain.
+struct RealWidthOptions {
+  MagPrec Assumption{1, 0};
+  unsigned MagnitudeCap = 64;
+  unsigned PrecisionCap = 64;
+  /// Precision assigned to non-terminating binary expansions.
+  unsigned NonTerminatingPrecision = 128;
+  /// Optional interval refinement of the magnitude component only.
+  const IntervalSummary *Refine = nullptr;
+};
+
+/// Real (magnitude, precision) domain (Fig. 5b, with the paper's modified
+/// division semantics).
+class RealWidthDomain {
+public:
+  using Value = MagPrec;
+
+  RealWidthDomain(const TermManager &Manager, RealWidthOptions Options)
+      : Manager(Manager), Options(Options) {}
+
+  MagPrec transfer(Term T, const std::vector<MagPrec> &Children) const;
+
+private:
+  const TermManager &Manager;
+  RealWidthOptions Options;
+};
+
+} // namespace staub::analysis
+
+#endif // STAUB_ANALYSIS_WIDTHS_H

@@ -84,15 +84,18 @@ GeneratedConstraint sumOfCubes(TermManager &M, unsigned Instance,
   Term Sum = M.mkAdd(std::vector<Term>{power(M, X, 3), power(M, Y, 3),
                                        power(M, Z, 3)});
   Out.Assertions.push_back(M.mkEq(Sum, intConst(M, Target)));
-  if (!WantSat) {
-    // Keep the unsat search space finite: unbounded mod-9 obstructions
-    // send Z3's NIA engine into an uninterruptible bignum enumeration.
-    // The obstruction holds on any box, so the planted truth is intact.
-    int64_t Box = int64_t(1) << (MaxBits / 2);
-    for (Term V : {X, Y, Z}) {
-      Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Box)));
-      Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, -Box)));
-    }
+  // Box the search space in both polarities. Unsat: unbounded mod-9
+  // obstructions send Z3's NIA engine into an uninterruptible bignum
+  // enumeration, and the obstruction holds on any box. Sat: the planted
+  // witness lies inside the box by construction, and the asserted ranges
+  // are exactly what interval-based guard elision feeds on (real SMT-LIB
+  // benchmarks carry such range facts pervasively). 2^k - 1 rather than
+  // 2^k keeps the box symmetric within a (k+1)-bit signed range.
+  int64_t Box = WantSat ? ((int64_t(1) << (MaxBits / 3 + 1)))
+                        : ((int64_t(1) << (MaxBits / 2)) - 1);
+  for (Term V : {X, Y, Z}) {
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Box)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, -Box)));
   }
   return Out;
 }
@@ -120,6 +123,12 @@ GeneratedConstraint plantedPolynomial(TermManager &M, unsigned Instance,
   if (WantSat) {
     Out.Expected = SolveStatus::Sat;
     Out.Assertions.push_back(M.mkEq(Poly, intConst(M, Value)));
+    // Range facts around the planted root (the witness lies inside by
+    // construction); these are what interval-based guard elision harvests.
+    for (Term V : {X, Y}) {
+      Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Limit)));
+      Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, -Limit)));
+    }
     Model Witness;
     Witness.set(X, staub::Value(BigInt(A)));
     Witness.set(Y, staub::Value(BigInt(B)));
@@ -230,6 +239,16 @@ GeneratedConstraint linearSystem(TermManager &M, unsigned Instance,
     }
     // One equality pins the planted point's neighborhood.
     Out.Assertions.push_back(M.mkEq(Vars[0], MakeConst(Planted[0])));
+    // Box every Int variable at the planting range: the witness satisfies
+    // the box by construction, and the facts feed guard elision.
+    if (IsInt) {
+      for (Term V : Vars) {
+        Out.Assertions.push_back(
+            M.mkCompare(Kind::Le, V, MakeConst(Limit)));
+        Out.Assertions.push_back(
+            M.mkCompare(Kind::Ge, V, MakeConst(-Limit)));
+      }
+    }
     Model Witness;
     for (unsigned I = 0; I < NumVars; ++I)
       Witness.set(Vars[I], IsInt ? Value(BigInt(Planted[I]))

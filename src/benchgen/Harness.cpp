@@ -41,6 +41,8 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   R.TPost = Outcome.SolveSeconds;
   R.TCheck = Outcome.CheckSeconds;
   R.ChosenWidth = Outcome.ChosenWidth;
+  R.GuardsEmitted = Outcome.GuardsEmitted;
+  R.GuardsElided = Outcome.GuardsElided;
 
   // Cross-check against the planted ground truth where available: a
   // verified STAUB sat answer on a planted-unsat instance would be a
@@ -84,6 +86,8 @@ void evaluateOneConfigs(TermManager &Manager, const GeneratedConstraint &C,
     R.TPost = Outcome.SolveSeconds;
     R.TCheck = Outcome.CheckSeconds;
     R.ChosenWidth = Outcome.ChosenWidth;
+    R.GuardsEmitted = Outcome.GuardsEmitted;
+    R.GuardsElided = Outcome.GuardsElided;
     if (C.Expected && Outcome.Path == StaubPath::VerifiedSat &&
         *C.Expected == SolveStatus::Unsat) {
       std::fprintf(

@@ -33,6 +33,11 @@ struct EvalRecord {
   StaubPath Path = StaubPath::TranslationFailed;
   double TTrans = 0.0, TPost = 0.0, TCheck = 0.0;
   unsigned ChosenWidth = 0;
+  /// Overflow-guard accounting for the Int->BV lane: how many guard
+  /// assertions the translator emitted vs. statically discharged via
+  /// interval analysis (docs/ANALYSIS.md).
+  unsigned GuardsEmitted = 0;
+  unsigned GuardsElided = 0;
 
   double staubSeconds() const { return TTrans + TPost + TCheck; }
   bool verified() const { return Path == StaubPath::VerifiedSat; }

@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Oracles.h"
+#include "analysis/Lint.h"
 #include "fuzz/Rewrite.h"
 #include "staub/BoundInference.h"
+#include "staub/Config.h"
 #include "staub/Staub.h"
 #include "staub/Transform.h"
 #include "staub/WidthReduction.h"
@@ -159,7 +161,8 @@ checkIntTranslationExactness(TermManager &Manager, const FuzzInstance &Instance,
       usesIntDivision(Manager, Instance.Assertions))
     return std::nullopt;
   IntBounds Bounds = inferIntBounds(Manager, Instance.Assertions);
-  unsigned Width = std::clamp(Bounds.VariableAssumption, 1u, 64u);
+  unsigned Width =
+      std::clamp(Bounds.VariableAssumption, 1u, config::DefaultWidthCap);
   TransformResult Transform =
       transformIntToBv(Manager, Instance.Assertions, Width);
   if (!Transform.Ok)
@@ -185,6 +188,49 @@ checkIntTranslationExactness(TermManager &Manager, const FuzzInstance &Instance,
                          "(guarded translation must be exact without div)",
                          Instance);
   return std::nullopt;
+}
+
+/// translation-lint: staub-lint statically accepts every translation the
+/// pipeline produces — no solving involved. Lint re-proves the
+/// guarded-or-proven invariant with the same interval engine guard
+/// elision uses, so clean output always passes, and output mutated by
+/// BugInjection::DropOverflowGuards is flagged purely statically. FP
+/// translations are linted for well-sortedness only (rounding cannot be
+/// guarded, so there is no guard contract to enforce).
+std::optional<Violation> checkTranslationLint(TermManager &Manager,
+                                              const FuzzInstance &Instance,
+                                              SolverBackend &,
+                                              const OracleOptions &Options) {
+  analysis::LintOptions LOpts;
+  TransformResult Transform;
+  if (Options.Theory == FuzzTheory::Int) {
+    IntBounds Bounds = inferIntBounds(Manager, Instance.Assertions);
+    unsigned Width =
+        std::clamp(Bounds.VariableAssumption, 1u, config::DefaultWidthCap);
+    Transform = transformIntToBv(Manager, Instance.Assertions, Width);
+  } else {
+    FpFormat Format = FpFormat::float16();
+    if (Options.Theory == FuzzTheory::Real) {
+      RealBounds Bounds = inferRealBounds(Manager, Instance.Assertions);
+      Format = chooseFpFormat(Bounds.RootMagnitude, Bounds.RootPrecision);
+    }
+    Transform = transformRealToFp(Manager, Instance.Assertions, Format);
+    LOpts.RequireGuards = false;
+  }
+  if (!Transform.Ok)
+    return std::nullopt;
+  std::vector<Term> Bounded = Transform.Assertions;
+  if (Options.Inject == BugInjection::DropOverflowGuards &&
+      Options.Theory == FuzzTheory::Int)
+    Bounded.resize(Instance.Assertions.size());
+  analysis::LintReport Report = analysis::lintTranslation(
+      Manager, Instance.Assertions, Bounded, Transform.VariableMap, LOpts);
+  if (Report.clean())
+    return std::nullopt;
+  return makeViolation("translation-lint",
+                       "static lint rejects the translation:\n" +
+                           Report.toString(),
+                       Instance);
 }
 
 /// bound-monotonicity: doubling every constant must never shrink an
@@ -243,7 +289,8 @@ checkWidthReductionStability(TermManager &Manager, const FuzzInstance &Instance,
   if (Options.Theory != FuzzTheory::Int)
     return std::nullopt;
   IntBounds Bounds = inferIntBounds(Manager, Instance.Assertions);
-  unsigned Width = std::clamp(Bounds.VariableAssumption, 1u, 64u);
+  unsigned Width =
+      std::clamp(Bounds.VariableAssumption, 1u, config::DefaultWidthCap);
   TransformResult Transform =
       transformIntToBv(Manager, Instance.Assertions, Width);
   if (!Transform.Ok)
@@ -362,6 +409,7 @@ constexpr NamedOracle StageOracles[] = {
     {"planted-truth", checkPlantedTruth},
     {"pipeline-soundness", checkPipelineSoundness},
     {"int-translation-exactness", checkIntTranslationExactness},
+    {"translation-lint", checkTranslationLint},
     {"bound-monotonicity", checkBoundMonotonicity},
     {"width-reduction-stability", checkWidthReductionStability},
     {"portfolio-agreement", checkPortfolioAgreement},

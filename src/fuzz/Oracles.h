@@ -15,6 +15,10 @@
 ///                              division-free fragment (paper Sec. 4.3):
 ///                              every bounded model converts back and
 ///                              satisfies the original
+///   translation-lint           staub-lint (analysis/Lint.h) statically
+///                              accepts the pipeline's own translation:
+///                              guard discipline, well-sortedness and
+///                              phi^-1 totality, with no solving at all
 ///   bound-monotonicity         inferred widths are monotone in constant
 ///                              magnitude (doubling every constant never
 ///                              shrinks a width)

@@ -2,13 +2,25 @@
 //
 // Part of the STAUB reproduction.
 //
+// A thin adapter over the generic dataflow framework: the Fig. 5 transfer
+// functions live in analysis/Widths.cpp as DagAnalysis domains, and this
+// file only computes the paper's assumption values and wires in interval
+// refinement. When the assertions carry harvestable range facts
+// (`0 <= x`, `x < 100`, ...), per-node intervals tighten the inferred
+// widths below what the largest-constant assumption alone gives; with no
+// facts the classic transfer runs unrefined, so constraints without range
+// atoms infer the exact widths of the original abstract interpretation.
+//
 //===----------------------------------------------------------------------===//
 
 #include "staub/BoundInference.h"
 
+#include "analysis/Dataflow.h"
+#include "analysis/Interval.h"
+#include "analysis/Widths.h"
+
 #include <algorithm>
-#include <cassert>
-#include <unordered_map>
+#include <vector>
 
 using namespace staub;
 
@@ -37,171 +49,6 @@ unsigned largestIntConstWidth(const TermManager &Manager,
   return Largest;
 }
 
-/// Integer abstract transformer (Fig. 5a). Returns the abstract width of
-/// \p T given child widths.
-class IntAbstractInterp {
-public:
-  IntAbstractInterp(const TermManager &Manager, unsigned Assumption,
-                    unsigned Cap)
-      : Manager(Manager), Assumption(Assumption), Cap(Cap) {}
-
-  unsigned eval(Term T) {
-    auto Found = Memo.find(T.id());
-    if (Found != Memo.end())
-      return Found->second;
-    unsigned Result = evalNode(T);
-    Memo.emplace(T.id(), Result);
-    return Result;
-  }
-
-private:
-  const TermManager &Manager;
-  unsigned Assumption;
-  unsigned Cap;
-  std::unordered_map<uint32_t, unsigned> Memo;
-
-  unsigned maxChild(Term T) {
-    unsigned Max = 1;
-    for (Term Child : Manager.children(T))
-      Max = std::max(Max, eval(Child));
-    return Max;
-  }
-
-  unsigned evalNode(Term T) {
-    switch (Manager.kind(T)) {
-    case Kind::ConstBool:
-      return 1; // alpha(boolean) = 1.
-    case Kind::ConstInt:
-      return capped(Manager.intValue(T).minSignedWidth(), Cap);
-    case Kind::Variable:
-      return Manager.sort(T).isBool() ? 1 : Assumption;
-    case Kind::Neg:
-    case Kind::IntAbs:
-      // |-(-2^(w-1))| needs one more signed bit.
-      return capped(eval(Manager.child(T, 0)) + 1, Cap);
-    case Kind::Add:
-    case Kind::Sub: {
-      // Each 2-ary (left-assoc) step can add one bit.
-      unsigned Extra = Manager.numChildren(T) - 1;
-      return capped(maxChild(T) + Extra, Cap);
-    }
-    case Kind::Mul: {
-      unsigned Sum = 0;
-      for (Term Child : Manager.children(T))
-        Sum = capped(Sum + eval(Child), Cap);
-      return Sum;
-    }
-    case Kind::IntDiv:
-      // |quotient| <= |dividend| for |divisor| >= 1; one extra bit covers
-      // the sign-flip edge case (MIN / -1).
-      return capped(eval(Manager.child(T, 0)) + 1, Cap);
-    case Kind::IntMod:
-      // 0 <= mod < |divisor|.
-      return eval(Manager.child(T, 1));
-    default:
-      // Boolean connectives, comparisons, ite, eq, distinct: propagate
-      // the maximum width of the children (Fig. 5a "boolop").
-      return maxChild(T);
-    }
-  }
-};
-
-/// Real abstract values: (magnitude, precision) with the product order of
-/// Eq. 3. A missing precision (Infinite) models the paper's infinity.
-struct MagPrec {
-  unsigned Magnitude = 1;
-  unsigned Precision = 0;
-};
-
-class RealAbstractInterp {
-public:
-  RealAbstractInterp(const TermManager &Manager, MagPrec Assumption,
-                     unsigned MagCap, unsigned PrecCap)
-      : Manager(Manager), Assumption(Assumption), MagCap(MagCap),
-        PrecCap(PrecCap) {}
-
-  MagPrec eval(Term T) {
-    auto Found = Memo.find(T.id());
-    if (Found != Memo.end())
-      return Found->second;
-    MagPrec Result = evalNode(T);
-    Result.Magnitude = capped(Result.Magnitude, MagCap);
-    Result.Precision = capped(Result.Precision, PrecCap);
-    Memo.emplace(T.id(), Result);
-    return Result;
-  }
-
-private:
-  const TermManager &Manager;
-  MagPrec Assumption;
-  unsigned MagCap, PrecCap;
-  std::unordered_map<uint32_t, MagPrec> Memo;
-
-  MagPrec joinChildren(Term T) {
-    MagPrec Out;
-    for (Term Child : Manager.children(T)) {
-      MagPrec V = eval(Child);
-      Out.Magnitude = std::max(Out.Magnitude, V.Magnitude);
-      Out.Precision = std::max(Out.Precision, V.Precision);
-    }
-    return Out;
-  }
-
-  static MagPrec ofRational(const Rational &V) {
-    MagPrec Out;
-    // Magnitude: bits of ceil(|c|) plus a sign bit (Eq. 4).
-    Out.Magnitude = V.abs().ceil().minSignedWidth();
-    // Precision: dig(c). SMT-LIB has no irrational constants, but decimal
-    // constants like 0.1 have non-terminating binary expansions; treat
-    // those as "large" precision so they behave like the paper's bounded
-    // division assumption.
-    auto Dig = V.binaryPrecision();
-    Out.Precision = Dig ? *Dig : 128;
-    return Out;
-  }
-
-  MagPrec evalNode(Term T) {
-    switch (Manager.kind(T)) {
-    case Kind::ConstBool:
-      return {1, 0};
-    case Kind::ConstReal:
-      return ofRational(Manager.realValue(T));
-    case Kind::ConstInt: // Int constants coerced into real positions.
-      return {Manager.intValue(T).minSignedWidth(), 0};
-    case Kind::Variable:
-      return Manager.sort(T).isBool() ? MagPrec{1, 0} : Assumption;
-    case Kind::Neg: {
-      MagPrec V = eval(Manager.child(T, 0));
-      return {V.Magnitude + 1, V.Precision};
-    }
-    case Kind::Add:
-    case Kind::Sub: {
-      MagPrec Join = joinChildren(T);
-      unsigned Extra = Manager.numChildren(T) - 1;
-      return {Join.Magnitude + Extra, Join.Precision};
-    }
-    case Kind::Mul: {
-      MagPrec Out{0, 0};
-      for (Term Child : Manager.children(T)) {
-        MagPrec V = eval(Child);
-        Out.Magnitude += V.Magnitude;
-        Out.Precision += V.Precision;
-      }
-      return Out;
-    }
-    case Kind::RealDiv: {
-      // The paper's modified division semantics: (m1+m2, p1+p2), keeping
-      // the result finite at the cost of further underapproximation.
-      MagPrec A = eval(Manager.child(T, 0));
-      MagPrec B = eval(Manager.child(T, 1));
-      return {A.Magnitude + B.Magnitude, A.Precision + B.Precision};
-    }
-    default:
-      return joinChildren(T);
-    }
-  }
-};
-
 } // namespace
 
 IntBounds staub::inferIntBounds(const TermManager &Manager,
@@ -210,10 +57,27 @@ IntBounds staub::inferIntBounds(const TermManager &Manager,
   IntBounds Out;
   Out.VariableAssumption =
       capped(largestIntConstWidth(Manager, Assertions) + 1, WidthCap);
-  IntAbstractInterp Interp(Manager, Out.VariableAssumption, WidthCap);
+
+  // Refinement intervals: variables clamped to the assumption range,
+  // var-const facts only (variable-variable propagation belongs to the
+  // elision/lint engine; here it would silently change the paper's
+  // arithmetic on examples like Fig. 4).
+  analysis::IntervalOptions IOpts;
+  IOpts.ClampVarsWidth = Out.VariableAssumption;
+  IOpts.UseVarVarFacts = false;
+  analysis::IntervalSummary Intervals =
+      analysis::analyzeIntervals(Manager, Assertions, IOpts);
+
+  analysis::IntWidthOptions WOpts;
+  WOpts.Assumption = Out.VariableAssumption;
+  WOpts.Cap = WidthCap;
+  WOpts.Refine = Intervals.hasFacts() ? &Intervals : nullptr;
+  analysis::DagAnalysis<analysis::IntWidthDomain> Interp(
+      Manager, analysis::IntWidthDomain(Manager, WOpts));
+
   unsigned Root = 1;
   for (Term Assertion : Assertions)
-    Root = std::max(Root, Interp.eval(Assertion));
+    Root = std::max(Root, Interp.get(Assertion));
   Out.RootWidth = std::max(Root, Out.VariableAssumption);
   return Out;
 }
@@ -223,7 +87,7 @@ RealBounds staub::inferRealBounds(const TermManager &Manager,
                                   unsigned MagnitudeCap,
                                   unsigned PrecisionCap) {
   // Assumption from the largest constant (magnitude and precision).
-  MagPrec ConstMax{1, 0};
+  analysis::MagPrec ConstMax{1, 0};
   {
     std::vector<Term> Stack(Assertions.begin(), Assertions.end());
     std::vector<bool> Seen(Manager.numTerms(), false);
@@ -257,12 +121,23 @@ RealBounds staub::inferRealBounds(const TermManager &Manager,
   Out.PrecisionAssumption =
       std::min(std::max(ConstMax.Precision, 4u) + 1, PrecisionCap);
 
-  RealAbstractInterp Interp(
-      Manager, MagPrec{Out.MagnitudeAssumption, Out.PrecisionAssumption},
-      MagnitudeCap, PrecisionCap);
-  MagPrec Root{1, 0};
+  analysis::IntervalOptions IOpts;
+  IOpts.ClampRealVarsMagnitude = Out.MagnitudeAssumption;
+  IOpts.UseVarVarFacts = false;
+  analysis::IntervalSummary Intervals =
+      analysis::analyzeIntervals(Manager, Assertions, IOpts);
+
+  analysis::RealWidthOptions WOpts;
+  WOpts.Assumption = {Out.MagnitudeAssumption, Out.PrecisionAssumption};
+  WOpts.MagnitudeCap = MagnitudeCap;
+  WOpts.PrecisionCap = PrecisionCap;
+  WOpts.Refine = Intervals.hasFacts() ? &Intervals : nullptr;
+  analysis::DagAnalysis<analysis::RealWidthDomain> Interp(
+      Manager, analysis::RealWidthDomain(Manager, WOpts));
+
+  analysis::MagPrec Root{1, 0};
   for (Term Assertion : Assertions) {
-    MagPrec V = Interp.eval(Assertion);
+    analysis::MagPrec V = Interp.get(Assertion);
     Root.Magnitude = std::max(Root.Magnitude, V.Magnitude);
     Root.Precision = std::max(Root.Precision, V.Precision);
   }

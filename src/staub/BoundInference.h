@@ -15,7 +15,10 @@
 /// ((m1+m2, p1+p2)) to avoid infinite precision.
 ///
 /// The analysis is a single memoized DAG walk, so it runs in time linear
-/// in the constraint size (Sec. 6.1).
+/// in the constraint size (Sec. 6.1). The transfer functions themselves
+/// live in analysis/Widths.h as clients of the generic dataflow
+/// framework; this interface additionally wires in interval refinement,
+/// tightening inferred widths from asserted range facts (docs/ANALYSIS.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +26,7 @@
 #define STAUB_STAUB_BOUNDINFERENCE_H
 
 #include "smtlib/Term.h"
+#include "staub/Config.h"
 
 #include <vector>
 
@@ -49,13 +53,14 @@ struct RealBounds {
 /// by overflow predicates anyway).
 IntBounds inferIntBounds(const TermManager &Manager,
                          const std::vector<Term> &Assertions,
-                         unsigned WidthCap = 64);
+                         unsigned WidthCap = config::DefaultWidthCap);
 
 /// Real abstract interpretation.
-RealBounds inferRealBounds(const TermManager &Manager,
-                           const std::vector<Term> &Assertions,
-                           unsigned MagnitudeCap = 64,
-                           unsigned PrecisionCap = 64);
+RealBounds
+inferRealBounds(const TermManager &Manager,
+                const std::vector<Term> &Assertions,
+                unsigned MagnitudeCap = config::DefaultMagnitudeCap,
+                unsigned PrecisionCap = config::DefaultPrecisionCap);
 
 } // namespace staub
 

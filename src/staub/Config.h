@@ -1,0 +1,49 @@
+//===- staub/Config.h - Shared pipeline constants ---------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The magic caps of the pipeline, in one place. Bound inference, the
+/// portfolio driver, the fuzz oracles and the benches all clamp abstract
+/// widths / magnitudes / precisions with the same defaults; keeping them
+/// here means a cap change propagates everywhere consistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_STAUB_CONFIG_H
+#define STAUB_STAUB_CONFIG_H
+
+namespace staub::config {
+
+/// Default cap on inferred bitvector widths (Sec. 4.2): pathological
+/// constraints cannot demand absurd widths; overflow guards plus
+/// verification cover the truncation.
+inline constexpr unsigned DefaultWidthCap = 64;
+
+/// Default cap on inferred floating-point magnitude bits.
+inline constexpr unsigned DefaultMagnitudeCap = 64;
+
+/// Default cap on inferred floating-point precision bits.
+inline constexpr unsigned DefaultPrecisionCap = 64;
+
+/// Largest significand the FP format chooser will select: quad precision
+/// (1 hidden + 112 stored fraction bits).
+inline constexpr unsigned MaxSignificandBits = 113;
+
+/// Largest exponent field the FP format chooser will select (quad).
+inline constexpr unsigned MaxExponentBits = 15;
+
+/// Precision cap handed to real bound inference by the pipeline driver
+/// before format choice: quad's 112 stored fraction bits.
+inline constexpr unsigned RealPrecisionCap = 112;
+
+/// Precision assigned to constants with non-terminating binary
+/// expansions (e.g. 0.1): "large", so they drive the format up and the
+/// rounding shows up as a semantic difference during verification.
+inline constexpr unsigned NonTerminatingPrecision = 128;
+
+} // namespace staub::config
+
+#endif // STAUB_STAUB_CONFIG_H

@@ -91,7 +91,9 @@ StaubOutcome staub::runStaub(TermManager &Manager,
                                    : Bounds.VariableAssumption;
     }
     Outcome.ChosenWidth = Width;
-    Transform = transformIntToBv(Manager, Assertions, Width);
+    TransformOptions TOpts;
+    TOpts.ElideGuards = Options.ElideGuards;
+    Transform = transformIntToBv(Manager, Assertions, Width, TOpts);
   } else {
     FpFormat Format{0, 0};
     if (Options.FixedWidth) {
@@ -103,7 +105,8 @@ StaubOutcome staub::runStaub(TermManager &Manager,
                                            : FpFormat::float128();
     } else {
       RealBounds Bounds = inferRealBounds(Manager, Assertions,
-                                          Options.WidthCap, 112);
+                                          Options.WidthCap,
+                                          config::RealPrecisionCap);
       Format = chooseFpFormat(Bounds.RootMagnitude, Bounds.RootPrecision,
                               Options.StandardFpFormats);
     }
@@ -117,6 +120,8 @@ StaubOutcome staub::runStaub(TermManager &Manager,
     return Outcome;
   }
   Outcome.BoundedAssertions = Transform.Assertions;
+  Outcome.GuardsEmitted = Transform.GuardsEmitted;
+  Outcome.GuardsElided = Transform.GuardsElided;
 
   // Optional bounded-theory optimizer (SLOT, RQ2).
   std::vector<Term> ToSolve = Transform.Assertions;

@@ -18,6 +18,7 @@
 #define STAUB_STAUB_STAUB_H
 
 #include "solver/Solver.h"
+#include "staub/Config.h"
 #include "staub/Transform.h"
 
 #include <optional>
@@ -30,7 +31,10 @@ struct StaubOptions {
   /// ablation, Table 3 "Fixed 8-bit" / "Fixed 16-bit").
   std::optional<unsigned> FixedWidth;
   /// Cap on the inferred width.
-  unsigned WidthCap = 64;
+  unsigned WidthCap = config::DefaultWidthCap;
+  /// Statically discharge overflow guards proven impossible at the chosen
+  /// width (analysis/Interval.h) and drop them before solving.
+  bool ElideGuards = true;
   /// Width policy. The default follows the paper's Fig. 1b: variables take
   /// the assumption width x (largest constant + 1) and the overflow guards
   /// keep intermediates honest. Setting this uses the abstract
@@ -68,6 +72,9 @@ struct StaubOutcome {
   /// Chosen bounds.
   unsigned ChosenWidth = 0;
   FpFormat ChosenFormat{0, 0};
+  /// Overflow guards kept vs. statically discharged (Int lane).
+  unsigned GuardsEmitted = 0;
+  unsigned GuardsElided = 0;
   /// The translated constraint (for SLOT chaining and inspection).
   std::vector<Term> BoundedAssertions;
 

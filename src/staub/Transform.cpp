@@ -6,9 +6,14 @@
 
 #include "staub/Transform.h"
 
+#include "analysis/Interval.h"
+#include "staub/Config.h"
+
 #include <cassert>
+#include <optional>
 
 using namespace staub;
+using analysis::Interval;
 
 namespace {
 
@@ -34,6 +39,8 @@ public:
     Result.Assertions.insert(Result.Assertions.end(), Guards.begin(),
                              Guards.end());
     Result.VariableMap = VariableMap;
+    Result.GuardsEmitted = GuardsEmitted;
+    Result.GuardsElided = GuardsElided;
     Result.Ok = true;
     return Result;
   }
@@ -44,6 +51,8 @@ protected:
   std::unordered_map<uint32_t, Term> VariableMap;
   std::vector<Term> Guards;
   std::string Failed;
+  unsigned GuardsEmitted = 0;
+  unsigned GuardsElided = 0;
 
   Term fail(const std::string &Reason) {
     if (Failed.empty())
@@ -67,27 +76,67 @@ protected:
   virtual Term translateNode(Term T) = 0;
 };
 
-/// Int -> BitVec translator with overflow guards.
+/// Int -> BitVec translator with overflow guards. When elision is on, the
+/// original (Int-side) assertion conjunction is interval-analyzed with
+/// every Int node clamped to the signed range of the chosen width — the
+/// guarded-or-proven invariant makes that clamp a fact in any model that
+/// survives the remaining guards — and each guard whose operand intervals
+/// prove no overflow is dropped before solving.
 class IntToBv : public Translator {
 public:
-  IntToBv(TermManager &Manager, unsigned Width)
-      : Translator(Manager), Width(Width) {}
+  IntToBv(TermManager &Manager, unsigned Width,
+          const std::vector<Term> &Originals, const TransformOptions &Options)
+      : Translator(Manager), Width(Width) {
+    if (Options.ElideGuards) {
+      analysis::IntervalOptions IOpts;
+      IOpts.ClampAllWidth = Width;
+      Intervals = analysis::analyzeIntervals(Manager, Originals, IOpts);
+    }
+  }
 
 private:
   unsigned Width;
+  std::optional<analysis::IntervalSummary> Intervals;
 
-  /// Adds the guard `not P(Args)` for an overflow predicate kind.
-  void guard(Kind Predicate, std::vector<Term> Args) {
+  /// The Int-side interval of \p OriginalTerm (top when elision is off).
+  Interval iv(Term OriginalTerm) const {
+    return Intervals ? Intervals->of(OriginalTerm) : Interval::top();
+  }
+
+  /// Adds the guard `not P(Args)`, unless the operand intervals prove the
+  /// predicate cannot fire (\p B is ignored for the unary BvNegO). The
+  /// provability test is the exact one staub-lint replays on the bounded
+  /// side, so every kept guard is one lint cannot discharge either.
+  void guard(Kind Predicate, std::vector<Term> Args, const Interval &A,
+             const Interval &B = Interval::top()) {
+    if (Intervals && analysis::overflowImpossible(Predicate, A, B, Width)) {
+      ++GuardsElided;
+      return;
+    }
+    ++GuardsEmitted;
     Guards.push_back(Manager.mkNot(Manager.mkApp(Predicate, Args)));
   }
 
-  /// Folds an n-ary op pairwise, guarding each step.
-  Term foldGuarded(Kind BvKind, Kind GuardKind,
-                   const std::vector<Term> &Args) {
+  /// Folds an n-ary op pairwise, guarding each step. The accumulator's
+  /// interval is folded alongside, each step clamped to the width range,
+  /// mirroring analysis/Interval.cpp's transfer for the n-ary node so
+  /// that per-step elision matches what lint can re-prove.
+  Term foldGuarded(Kind BvKind, Kind GuardKind, const std::vector<Term> &Args,
+                   const std::vector<Term> &OrigArgs) {
     Term Acc = Args[0];
+    Interval AccIv = iv(OrigArgs[0]);
     for (size_t I = 1; I < Args.size(); ++I) {
-      guard(GuardKind, {Acc, Args[I]});
+      Interval CiIv = iv(OrigArgs[I]);
+      guard(GuardKind, {Acc, Args[I]}, AccIv, CiIv);
       Acc = Manager.mkApp(BvKind, std::vector<Term>{Acc, Args[I]});
+      if (Intervals) {
+        Interval Step = GuardKind == Kind::BvSAddO ? addI(AccIv, CiIv)
+                        : GuardKind == Kind::BvSSubO
+                            ? subI(AccIv, CiIv)
+                            : mulI(AccIv, CiIv);
+        AccIv = meet(Step, Interval::range(analysis::widthRangeLo(Width),
+                                           analysis::widthRangeHi(Width)));
+      }
     }
     return Acc;
   }
@@ -122,8 +171,9 @@ private:
       break;
     }
 
+    std::vector<Term> Orig = Manager.childrenCopy(T);
     std::vector<Term> Children;
-    for (Term Child : Manager.childrenCopy(T)) {
+    for (Term Child : Orig) {
       Term Translated = translate(Child);
       if (!Failed.empty())
         return Term();
@@ -143,11 +193,11 @@ private:
       return Manager.mkApp(K, Children);
 
     case Kind::Neg:
-      guard(Kind::BvNegO, {Children[0]});
+      guard(Kind::BvNegO, {Children[0]}, iv(Orig[0]));
       return Manager.mkApp(Kind::BvNeg, Children);
     case Kind::IntAbs:
       // No bvabs in SMT-LIB: ite(x <s 0, -x, x), guarding the negation.
-      guard(Kind::BvNegO, {Children[0]});
+      guard(Kind::BvNegO, {Children[0]}, iv(Orig[0]));
       return Manager.mkIte(
           Manager.mkApp(Kind::BvSlt,
                         std::vector<Term>{Children[0],
@@ -156,15 +206,16 @@ private:
           Manager.mkApp(Kind::BvNeg, std::vector<Term>{Children[0]}),
           Children[0]);
     case Kind::Add:
-      return foldGuarded(Kind::BvAdd, Kind::BvSAddO, Children);
+      return foldGuarded(Kind::BvAdd, Kind::BvSAddO, Children, Orig);
     case Kind::Sub:
-      return foldGuarded(Kind::BvSub, Kind::BvSSubO, Children);
+      return foldGuarded(Kind::BvSub, Kind::BvSSubO, Children, Orig);
     case Kind::Mul:
-      return foldGuarded(Kind::BvMul, Kind::BvSMulO, Children);
+      return foldGuarded(Kind::BvMul, Kind::BvSMulO, Children, Orig);
     case Kind::IntDiv:
       // Semantic difference: SMT-LIB Int div is Euclidean, bvsdiv
       // truncates. Verification catches disagreements (Sec. 4.4 case 3).
-      guard(Kind::BvSDivO, {Children[0], Children[1]});
+      guard(Kind::BvSDivO, {Children[0], Children[1]}, iv(Orig[0]),
+            iv(Orig[1]));
       return Manager.mkApp(Kind::BvSDiv, Children);
     case Kind::IntMod:
       return Manager.mkApp(Kind::BvSRem, Children);
@@ -287,9 +338,10 @@ private:
 
 TransformResult staub::transformIntToBv(TermManager &Manager,
                                         const std::vector<Term> &Assertions,
-                                        unsigned Width) {
+                                        unsigned Width,
+                                        const TransformOptions &Options) {
   assert(Width >= 1 && "bitvector width must be positive");
-  IntToBv Translator(Manager, Width);
+  IntToBv Translator(Manager, Width, Assertions, Options);
   TransformResult Result = Translator.run(Assertions);
   Result.Width = Width;
   return Result;
@@ -309,11 +361,12 @@ FpFormat staub::chooseFpFormat(unsigned MagnitudeBits, unsigned PrecisionBits,
   // Need emax = 2^(eb-1)-1 >= MagnitudeBits (values up to 2^m). Smallest
   // eb satisfying that, floored at 3 so tiny constraints stay IEEE-like.
   unsigned Eb = 3;
-  while (((1u << (Eb - 1)) - 1) < MagnitudeBits + 1 && Eb < 15)
+  while (((1u << (Eb - 1)) - 1) < MagnitudeBits + 1 &&
+         Eb < config::MaxExponentBits)
     ++Eb;
   unsigned Sb = std::max(PrecisionBits + 1, 4u);
-  if (Sb > 113)
-    Sb = 113;
+  if (Sb > config::MaxSignificandBits)
+    Sb = config::MaxSignificandBits;
   if (!RoundUpToStandard)
     return {Eb, Sb};
   for (FpFormat Standard : {FpFormat::float16(), FpFormat::float32(),

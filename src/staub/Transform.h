@@ -28,6 +28,16 @@
 
 namespace staub {
 
+/// Options controlling the Int -> BV translation.
+struct TransformOptions {
+  /// Statically discharge overflow guards the interval analysis
+  /// (analysis/Interval.h) proves cannot fire at the chosen width, and
+  /// drop them before solving. Elision and staub-lint share one
+  /// provability predicate, so lint accepts elided output by
+  /// construction.
+  bool ElideGuards = true;
+};
+
 /// Result of translating a constraint into a bounded theory.
 struct TransformResult {
   bool Ok = false;
@@ -39,13 +49,17 @@ struct TransformResult {
   /// Chosen width (Int case) or format (Real case).
   unsigned Width = 0;
   FpFormat Format{0, 0};
+  /// Overflow guards kept in Assertions vs. statically discharged.
+  unsigned GuardsEmitted = 0;
+  unsigned GuardsElided = 0;
 };
 
 /// Translates Int assertions to bitvectors of width \p Width. Fails when
 /// a constant does not fit the width or an unsupported operator occurs.
 TransformResult transformIntToBv(TermManager &Manager,
                                  const std::vector<Term> &Assertions,
-                                 unsigned Width);
+                                 unsigned Width,
+                                 const TransformOptions &Options = {});
 
 /// Translates Real assertions to floating point with the given format.
 TransformResult transformRealToFp(TermManager &Manager,

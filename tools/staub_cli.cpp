@@ -20,6 +20,8 @@
 ///   --fixed-width=N       skip inference; use an N-bit translation
 ///   --root-width          use the abstract interpretation root width
 ///   --emit-bounded        print the transformed constraint, do not solve
+///   --lint                translate, then statically lint the translation
+///                         (staub-lint in-process); exit 1 on lint errors
 ///   --timeout=SECONDS     per-solve budget (default 30)
 ///   --jobs=N              threads for --portfolio (default 2; 1 runs the
 ///                         lanes back to back on the calling thread)
@@ -27,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "smtlib/Parser.h"
 #include "smtlib/Printer.h"
 #include "staub/Staub.h"
@@ -48,6 +51,7 @@ struct CliOptions {
   std::string InputPath;
   bool Portfolio = false;
   bool EmitBounded = false;
+  bool Lint = false;
   bool RootWidth = false;
   bool Stats = false;
   std::optional<unsigned> FixedWidth;
@@ -59,8 +63,8 @@ void printUsage() {
   std::fprintf(
       stderr,
       "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
-      "             [--root-width] [--emit-bounded] [--timeout=S] [--jobs=N]\n"
-      "             [--stats] [file.smt2]\n");
+      "             [--root-width] [--emit-bounded] [--lint] [--timeout=S]\n"
+      "             [--jobs=N] [--stats] [file.smt2]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -77,6 +81,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.Portfolio = true;
     } else if (Arg == "--emit-bounded") {
       Options.EmitBounded = true;
+    } else if (Arg == "--lint") {
+      Options.Lint = true;
     } else if (Arg == "--root-width") {
       Options.RootWidth = true;
     } else if (Arg == "--stats") {
@@ -153,8 +159,9 @@ int main(int Argc, char **Argv) {
   Options.UseRootWidth = Cli.RootWidth;
   Options.Solve.TimeoutSeconds = Cli.TimeoutSeconds;
 
-  if (Cli.EmitBounded) {
-    // Translation only: the output is fed to an external solver.
+  if (Cli.EmitBounded || Cli.Lint) {
+    // Translation only: emit the bounded constraint for an external
+    // solver, or statically lint it (analysis/Lint.h) without solving.
     bool IsInt = false;
     for (Term A : Assertions)
       for (Term V : Manager.collectVariables(A))
@@ -183,6 +190,17 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: translation failed: %s\n",
                    T.FailReason.c_str());
       return 2;
+    }
+    if (Cli.Lint) {
+      analysis::LintOptions LOpts;
+      LOpts.RequireGuards = IsInt; // The FP lane emits no guards.
+      analysis::LintReport Report = analysis::lintTranslation(
+          Manager, Assertions, T.Assertions, T.VariableMap, LOpts);
+      if (Report.Findings.empty())
+        std::printf("clean\n");
+      else
+        std::fputs(Report.toString().c_str(), stdout);
+      return Report.clean() ? 0 : 1;
     }
     Out.Assertions = T.Assertions;
     Out.HasCheckSat = true;
