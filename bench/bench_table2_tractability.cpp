@@ -88,13 +88,16 @@ int main(int Argc, char **Argv) {
       Elided += R.GuardsElided;
     }
     unsigned long Total = Emitted + Elided;
+    EvalSummary Staub = summarize(All[0][2], Timeout);
     std::printf("%-8s | %6u %6u %6u | %6u %6u %6u | %6u %6u %6u  "
-                "guards: emitted %lu, elided %lu (%.0f%%)\n",
+                "guards: emitted %lu, elided %lu (%.0f%%)  "
+                "presolve: decided %u, width bits saved %u\n",
                 std::string(toString(Logic)).c_str(), Counts[0][0],
                 Counts[0][1], Counts[0][2], Counts[1][0], Counts[1][1],
                 Counts[1][2], Intersection[0], Intersection[1],
                 Intersection[2], Emitted, Elided,
-                Total ? 100.0 * double(Elided) / double(Total) : 0.0);
+                Total ? 100.0 * double(Elided) / double(Total) : 0.0,
+                Staub.PresolveDecided, Staub.PresolveWidthBitsSaved);
   }
   std::printf("\n(paper Table 2: NIA dominates — e.g. Z3 305, CVC5 3241 at "
               "300s; LRA all zeros)\n\n");

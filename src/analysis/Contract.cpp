@@ -1,0 +1,203 @@
+//===- analysis/Contract.cpp - Shared interval contraction kernels --------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Contract.h"
+
+#include <cassert>
+
+using namespace staub;
+using namespace staub::analysis;
+
+//===--------------------------------------------------------------------===//
+// Forward kernels.
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Extended value for endpoint products: finite, or +/- infinity.
+struct ExtValue {
+  int InfSign = 0; ///< -1, 0 (finite), +1.
+  Rational Finite;
+
+  static ExtValue negInf() { return {-1, Rational()}; }
+  static ExtValue posInf() { return {+1, Rational()}; }
+  static ExtValue fin(Rational V) { return {0, std::move(V)}; }
+
+  bool operator<(const ExtValue &RHS) const {
+    if (InfSign != RHS.InfSign)
+      return InfSign < RHS.InfSign;
+    if (InfSign != 0)
+      return false;
+    return Finite < RHS.Finite;
+  }
+};
+
+/// Multiplies two interval endpoints with IEEE-like infinity rules.
+/// 0 * inf resolves to 0, which is valid for endpoint hulls when the
+/// zero side is an exact endpoint.
+ExtValue extMul(const ExtValue &A, const ExtValue &B) {
+  if (A.InfSign == 0 && B.InfSign == 0)
+    return ExtValue::fin(A.Finite * B.Finite);
+  int SignA = A.InfSign != 0 ? A.InfSign : A.Finite.sign();
+  int SignB = B.InfSign != 0 ? B.InfSign : B.Finite.sign();
+  int Sign = SignA * SignB;
+  if (Sign > 0)
+    return ExtValue::posInf();
+  if (Sign < 0)
+    return ExtValue::negInf();
+  return ExtValue::fin(Rational(0));
+}
+
+ExtValue loOf(const Interval &I) {
+  return I.Lo ? ExtValue::fin(*I.Lo) : ExtValue::negInf();
+}
+ExtValue hiOf(const Interval &I) {
+  return I.Hi ? ExtValue::fin(*I.Hi) : ExtValue::posInf();
+}
+
+/// Rational integer power helper.
+Rational ratPow(const Rational &V, unsigned N) {
+  return Rational(V.numerator().pow(N), V.denominator().pow(N));
+}
+
+bool mayBeZero(const Interval &I) { return I.contains(Rational(0)); }
+
+} // namespace
+
+Interval analysis::mulFullI(const Interval &A, const Interval &B) {
+  if (A.Empty || B.Empty)
+    return Interval::bottom();
+  ExtValue Candidates[4] = {extMul(loOf(A), loOf(B)), extMul(loOf(A), hiOf(B)),
+                            extMul(hiOf(A), loOf(B)), extMul(hiOf(A), hiOf(B))};
+  ExtValue Min = Candidates[0], Max = Candidates[0];
+  for (int I = 1; I < 4; ++I) {
+    if (Candidates[I] < Min)
+      Min = Candidates[I];
+    if (Max < Candidates[I])
+      Max = Candidates[I];
+  }
+  Interval Out;
+  if (Min.InfSign == 0)
+    Out.Lo = Min.Finite;
+  if (Max.InfSign == 0)
+    Out.Hi = Max.Finite;
+  return Out;
+}
+
+Interval analysis::divFullI(const Interval &A, const Interval &B) {
+  if (A.Empty || B.Empty)
+    return Interval::bottom();
+  // If the divisor may be zero, give up (sound hull).
+  if (mayBeZero(B))
+    return Interval::top();
+  // Divisor has a definite sign; 1/B is monotone.
+  Interval Reciprocal;
+  // B strictly positive or strictly negative; endpoints may be missing
+  // (e.g. [2, +inf) -> (0, 1/2]).
+  if (B.Lo && B.Lo->sign() > 0) {
+    Reciprocal.Hi = B.Lo->inverse();
+    // Slightly loose when unbounded above (closed at 0).
+    Reciprocal.Lo = B.Hi ? B.Hi->inverse() : Rational(0);
+  } else {
+    assert(B.Hi && B.Hi->sign() < 0 && "divisor interval spans zero");
+    Reciprocal.Lo = B.Hi->inverse();
+    Reciprocal.Hi = B.Lo ? B.Lo->inverse() : Rational(0);
+  }
+  return mulFullI(A, Reciprocal);
+}
+
+Interval analysis::powFullI(const Interval &A, unsigned N) {
+  if (A.Empty)
+    return Interval::bottom();
+  if (N == 0)
+    return Interval::point(Rational(1));
+  if (N == 1)
+    return A;
+  if (N % 2 == 1) {
+    // Odd powers are monotone.
+    Interval Out;
+    if (A.Lo)
+      Out.Lo = ratPow(*A.Lo, N);
+    if (A.Hi)
+      Out.Hi = ratPow(*A.Hi, N);
+    return Out;
+  }
+  // Even powers: work on the absolute value (lower endpoint >= 0).
+  Interval Abs = absI(A);
+  Interval Out;
+  Out.Lo = Abs.Lo ? ratPow(*Abs.Lo, N) : Rational(0);
+  if (Abs.Hi)
+    Out.Hi = ratPow(*Abs.Hi, N);
+  return Out;
+}
+
+Interval analysis::roundToIntI(const Interval &A) {
+  if (A.Empty)
+    return Interval::bottom();
+  Interval Out;
+  if (A.Lo)
+    Out.Lo = Rational(A.Lo->ceil());
+  if (A.Hi)
+    Out.Hi = Rational(A.Hi->floor());
+  if (Out.Lo && Out.Hi && *Out.Hi < *Out.Lo)
+    return Interval::bottom();
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// Backward transfer functions.
+//===--------------------------------------------------------------------===//
+
+Interval analysis::backAddOperand(const Interval &Result,
+                                  const Interval &Other) {
+  return subI(Result, Other);
+}
+
+Interval analysis::backSubLeft(const Interval &Result, const Interval &Right) {
+  return addI(Result, Right);
+}
+
+Interval analysis::backSubRight(const Interval &Result, const Interval &Left) {
+  return subI(Left, Result);
+}
+
+Interval analysis::backNeg(const Interval &Result) { return negI(Result); }
+
+Interval analysis::backMulOperand(const Interval &Result,
+                                  const Interval &Other) {
+  if (Result.Empty || Other.Empty)
+    return Interval::bottom();
+  if (mayBeZero(Other))
+    return Interval::top();
+  return divFullI(Result, Other);
+}
+
+Interval analysis::backAbs(const Interval &Result) {
+  if (Result.Empty)
+    return Interval::bottom();
+  if (Result.Hi && Result.Hi->sign() < 0)
+    return Interval::bottom(); // |x| is never negative.
+  if (!Result.Hi)
+    return Interval::top();
+  Interval Out;
+  Out.Lo = Result.Hi->negated();
+  Out.Hi = *Result.Hi;
+  return Out;
+}
+
+Interval analysis::backIntDivDividend(const Interval &Result,
+                                      const Interval &Divisor) {
+  if (Result.Empty || Divisor.Empty)
+    return Interval::bottom();
+  Interval AbsDiv = absI(Divisor);
+  if (!AbsDiv.Hi || mayBeZero(Divisor))
+    return Interval::top();
+  Interval Product = mulFullI(Result, Divisor);
+  Interval Slack;
+  Slack.Lo = AbsDiv.Hi->negated();
+  Slack.Hi = *AbsDiv.Hi;
+  return addI(Product, Slack);
+}

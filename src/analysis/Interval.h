@@ -40,6 +40,7 @@
 #ifndef STAUB_ANALYSIS_INTERVAL_H
 #define STAUB_ANALYSIS_INTERVAL_H
 
+#include "analysis/KnownBits.h"
 #include "smtlib/Term.h"
 #include "support/Rational.h"
 
@@ -114,6 +115,21 @@ Rational widthRangeHi(unsigned Width);
 /// never disagree on what is provable.
 bool overflowImpossible(Kind GuardKind, const Interval &A, const Interval &B,
                         unsigned Width);
+
+/// The signed-value interval a known-bits fact implies: with the sign bit
+/// known, the unknown bits span [known-ones, all-but-known-zeros]; with it
+/// unknown, top. Top (no info) for widths the domain does not track.
+Interval intervalFromKnownBits(const KnownBits &K);
+
+/// overflowImpossible with the operands' known-bits facts mixed in: each
+/// interval is met with the range its bit pattern implies before the
+/// 4-argument test runs, so mask/shift-heavy guards (e.g. operands
+/// produced by `bvand` with a constant) discharge even when the interval
+/// engine alone sees top. Pass KnownBits::top() where no facts exist —
+/// the result then degenerates to the 4-argument oracle exactly.
+bool overflowImpossible(Kind GuardKind, const Interval &A, const Interval &B,
+                        unsigned Width, const KnownBits &KA,
+                        const KnownBits &KB);
 
 /// Options for analyzeIntervals().
 struct IntervalOptions {

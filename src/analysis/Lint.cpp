@@ -482,7 +482,12 @@ private:
         const Interval &IA = Intervals.of(M.child(T, 0));
         const Interval &IB =
             N > 1 ? Intervals.of(M.child(T, 1)) : Interval::top();
-        bool Proven = overflowImpossible(*Predicate, IA, IB, W);
+        // Known-bits facts join the interval facts: mask/shift-shaped
+        // operands ((bvand x #x0f), constant shifts) discharge guards the
+        // interval engine alone cannot.
+        bool Proven = overflowImpossible(
+            *Predicate, IA, IB, W, Bits.get(M.child(T, 0)),
+            N > 1 ? Bits.get(M.child(T, 1)) : KnownBits::top());
         if (Hit != Guards.end()) {
           Hit->second.Matched = true;
           if (Proven)
@@ -508,7 +513,10 @@ private:
       Interval Acc = Intervals.of(M.child(T, 0));
       for (unsigned I = 1; I < N && Proven; ++I) {
         const Interval &Ci = Intervals.of(M.child(T, I));
-        if (!overflowImpossible(*Predicate, Acc, Ci, W))
+        // The accumulator is a synthetic interval with no bit pattern of
+        // its own; only the step operand contributes known bits.
+        if (!overflowImpossible(*Predicate, Acc, Ci, W, KnownBits::top(),
+                                Bits.get(M.child(T, I))))
           Proven = false;
         Kind K = M.kind(T);
         Interval Step = K == Kind::BvAdd   ? addI(Acc, Ci)

@@ -1,0 +1,1042 @@
+//===- analysis/Presolve.cpp - Interval-contraction presolver -------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Presolve.h"
+
+#include "analysis/Contract.h"
+#include "smtlib/Printer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+using namespace staub;
+using namespace staub::analysis;
+
+std::string_view analysis::toString(PresolveVerdict V) {
+  switch (V) {
+  case PresolveVerdict::None:
+    return "none";
+  case PresolveVerdict::TriviallyUnsat:
+    return "trivially-unsat";
+  case PresolveVerdict::TriviallySat:
+    return "trivially-sat";
+  }
+  return "none";
+}
+
+namespace {
+
+/// Kleene truth value under the current ranges/assignments: True means
+/// true in every model consistent with them.
+enum class Tri : uint8_t { False, True, Unknown };
+
+Tri triOf(bool B) { return B ? Tri::True : Tri::False; }
+
+/// a <= b from operand intervals. Empty operands yield Unknown: the
+/// contraction entry check reports the contradiction with better
+/// provenance.
+Tri cmpLe(const Interval &A, const Interval &B) {
+  if (A.Empty || B.Empty)
+    return Tri::Unknown;
+  if (A.Hi && B.Lo && *A.Hi <= *B.Lo)
+    return Tri::True;
+  if (A.Lo && B.Hi && *B.Hi < *A.Lo)
+    return Tri::False;
+  return Tri::Unknown;
+}
+
+Tri cmpLt(const Interval &A, const Interval &B) {
+  if (A.Empty || B.Empty)
+    return Tri::Unknown;
+  if (A.Hi && B.Lo && *A.Hi < *B.Lo)
+    return Tri::True;
+  if (A.Lo && B.Hi && *B.Hi <= *A.Lo)
+    return Tri::False;
+  return Tri::Unknown;
+}
+
+bool isNumericSort(const Sort &S) { return S.isInt() || S.isReal(); }
+
+/// The whole pass lives in one stateful engine: flatten, fixpoint
+/// (forward tri-state evaluation + backward HC4 contraction), Boolean
+/// simplification, then verdict/materialization.
+class Engine {
+public:
+  Engine(TermManager &M, const std::vector<Term> &Roots,
+         const PresolveOptions &Opts)
+      : M(M), Roots(Roots), Opts(Opts) {}
+
+  PresolveResult run();
+
+private:
+  TermManager &M;
+  const std::vector<Term> &Roots;
+  const PresolveOptions &Opts;
+
+  /// One top-level conjunct (after descending through `and`s), tagged
+  /// with the index of the original assertion it came from.
+  struct Conjunct {
+    Term T;
+    unsigned Root;
+    bool Dropped = false;
+  };
+  std::vector<Conjunct> Conjuncts;
+  /// Contracted ranges of numeric variables (absent = top).
+  std::unordered_map<uint32_t, Interval> Ranges;
+  /// Pinned Bool variables (unit propagation, pure literals).
+  std::unordered_map<uint32_t, bool> BoolAssign;
+  /// Original assertion indices that contributed to a variable's
+  /// narrowing (certificate provenance).
+  std::unordered_map<uint32_t, std::set<unsigned>> Sources;
+  /// Forward-evaluation memo; cleared whenever a range or assignment
+  /// changes.
+  std::unordered_map<uint32_t, Interval> Memo;
+  /// All variables of the input, in first-seen order (deterministic
+  /// materialization).
+  std::vector<Term> Vars;
+
+  bool Changed = false;
+  bool Failed = false;
+  unsigned FailedConjunct = 0;
+
+  void fail(unsigned CIdx) {
+    if (!Failed) {
+      Failed = true;
+      FailedConjunct = CIdx;
+    }
+  }
+
+  void invalidate() {
+    Changed = true;
+    Memo.clear();
+  }
+
+  void flatten(Term T, unsigned Root) {
+    if (M.kind(T) == Kind::And) {
+      for (Term Child : M.childrenCopy(T))
+        flatten(Child, Root);
+      return;
+    }
+    Conjuncts.push_back({T, Root});
+  }
+
+  Interval rangeOf(Term Var) const {
+    auto It = Ranges.find(Var.id());
+    return It == Ranges.end() ? Interval::top() : It->second;
+  }
+
+  Interval iv(Term T);
+  Tri tri(Term T);
+  void contractFormula(Term T, bool Target, unsigned CIdx);
+  void contractCompare(Kind K, Term A, Term B, bool Target, unsigned CIdx);
+  void contractTerm(Term T, const Interval &Target, unsigned CIdx);
+  void shaveNeq(Term X, Term Other, unsigned CIdx);
+  void assignBool(Term Var, bool V, unsigned CIdx);
+
+  void pureLiteralPass();
+  void polarity(Term T, uint8_t Mode,
+                std::unordered_map<uint32_t, uint8_t> &Out,
+                std::unordered_set<uint64_t> &Seen);
+
+  Value pickValue(Term Var) const;
+  void buildSuggested(PresolveResult &R) const;
+  void buildCertificate(PresolveResult &R) const;
+  void materialize(PresolveResult &R);
+};
+
+//===--------------------------------------------------------------------===//
+// Forward evaluation.
+//===--------------------------------------------------------------------===//
+
+Interval Engine::iv(Term T) {
+  auto Found = Memo.find(T.id());
+  if (Found != Memo.end())
+    return Found->second;
+
+  Interval R = Interval::top();
+  switch (M.kind(T)) {
+  case Kind::ConstInt:
+    R = Interval::point(Rational(M.intValue(T)));
+    break;
+  case Kind::ConstReal:
+    R = Interval::point(M.realValue(T));
+    break;
+  case Kind::Variable:
+    R = rangeOf(T);
+    break;
+  case Kind::Neg:
+    R = negI(iv(M.child(T, 0)));
+    break;
+  case Kind::IntAbs:
+    R = absI(iv(M.child(T, 0)));
+    break;
+  case Kind::Add: {
+    R = iv(M.child(T, 0));
+    for (unsigned I = 1; I < M.numChildren(T); ++I)
+      R = addI(R, iv(M.child(T, I)));
+    break;
+  }
+  case Kind::Sub: {
+    R = iv(M.child(T, 0));
+    for (unsigned I = 1; I < M.numChildren(T); ++I)
+      R = subI(R, iv(M.child(T, I)));
+    break;
+  }
+  case Kind::Mul: {
+    // Group identical factors so even powers are known non-negative
+    // (plain interval products lose the x*x dependency).
+    std::vector<std::pair<uint32_t, unsigned>> Groups;
+    for (Term Child : M.children(T)) {
+      bool Seen = false;
+      for (auto &[Id, Count] : Groups)
+        if (Id == Child.id()) {
+          ++Count;
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Groups.emplace_back(Child.id(), 1);
+    }
+    bool First = true;
+    for (const auto &[Id, Count] : Groups) {
+      Interval Factor = powFullI(iv(Term(Id)), Count);
+      R = First ? Factor : mulFullI(R, Factor);
+      First = false;
+    }
+    break;
+  }
+  case Kind::RealDiv:
+    // divFullI is top when the divisor may be zero: solvers treat
+    // division by zero as unconstrained, so no narrowing is sound.
+    R = divFullI(iv(M.child(T, 0)), iv(M.child(T, 1)));
+    break;
+  case Kind::IntDiv: {
+    Interval Q = divFullI(iv(M.child(T, 0)), iv(M.child(T, 1)));
+    // Euclidean division: real-division hull +-1.
+    if (!Q.Empty) {
+      if (Q.Lo)
+        Q.Lo = *Q.Lo - Rational(1);
+      if (Q.Hi)
+        Q.Hi = *Q.Hi + Rational(1);
+    }
+    R = Q;
+    break;
+  }
+  case Kind::IntMod: {
+    Interval Divisor = iv(M.child(T, 1));
+    if (!Divisor.Empty && !Divisor.contains(Rational(0))) {
+      // Euclidean remainder: 0 <= mod < |divisor|.
+      Interval AbsDiv = absI(Divisor);
+      R.Lo = Rational(0);
+      if (AbsDiv.Hi)
+        R.Hi = *AbsDiv.Hi - Rational(1);
+    }
+    break;
+  }
+  case Kind::Ite: {
+    Tri Cond = tri(M.child(T, 0));
+    if (Cond == Tri::True)
+      R = iv(M.child(T, 1));
+    else if (Cond == Tri::False)
+      R = iv(M.child(T, 2));
+    else
+      R = hull(iv(M.child(T, 1)), iv(M.child(T, 2)));
+    break;
+  }
+  default:
+    break;
+  }
+  if (M.sort(T).isInt())
+    R = roundToIntI(R);
+  Memo.emplace(T.id(), R);
+  return R;
+}
+
+Tri Engine::tri(Term T) {
+  switch (M.kind(T)) {
+  case Kind::ConstBool:
+    return triOf(M.boolValue(T));
+  case Kind::Variable: {
+    auto It = BoolAssign.find(T.id());
+    return It == BoolAssign.end() ? Tri::Unknown : triOf(It->second);
+  }
+  case Kind::Not: {
+    Tri Inner = tri(M.child(T, 0));
+    if (Inner == Tri::Unknown)
+      return Tri::Unknown;
+    return Inner == Tri::True ? Tri::False : Tri::True;
+  }
+  case Kind::And: {
+    bool AnyUnknown = false;
+    for (Term Child : M.children(T)) {
+      Tri V = tri(Child);
+      if (V == Tri::False)
+        return Tri::False;
+      if (V == Tri::Unknown)
+        AnyUnknown = true;
+    }
+    return AnyUnknown ? Tri::Unknown : Tri::True;
+  }
+  case Kind::Or: {
+    bool AnyUnknown = false;
+    for (Term Child : M.children(T)) {
+      Tri V = tri(Child);
+      if (V == Tri::True)
+        return Tri::True;
+      if (V == Tri::Unknown)
+        AnyUnknown = true;
+    }
+    return AnyUnknown ? Tri::Unknown : Tri::False;
+  }
+  case Kind::Implies: {
+    Tri A = tri(M.child(T, 0)), B = tri(M.child(T, 1));
+    if (A == Tri::False || B == Tri::True)
+      return Tri::True;
+    if (A == Tri::True && B == Tri::False)
+      return Tri::False;
+    return Tri::Unknown;
+  }
+  case Kind::Xor: {
+    bool Acc = false;
+    for (Term Child : M.children(T)) {
+      Tri V = tri(Child);
+      if (V == Tri::Unknown)
+        return Tri::Unknown;
+      Acc = Acc != (V == Tri::True);
+    }
+    return triOf(Acc);
+  }
+  case Kind::Eq: {
+    if (M.sort(M.child(T, 0)).isBool()) {
+      Tri First = tri(M.child(T, 0));
+      bool AllKnown = First != Tri::Unknown;
+      for (unsigned I = 1; I < M.numChildren(T); ++I) {
+        Tri V = tri(M.child(T, I));
+        if (V == Tri::Unknown)
+          AllKnown = false;
+        else if (First != Tri::Unknown && V != First)
+          return Tri::False;
+      }
+      return AllKnown ? Tri::True : Tri::Unknown;
+    }
+    if (!isNumericSort(M.sort(M.child(T, 0))))
+      return Tri::Unknown;
+    bool AllEqualPoints = true;
+    Interval First = iv(M.child(T, 0));
+    for (unsigned I = 1; I < M.numChildren(T); ++I) {
+      Interval V = iv(M.child(T, I));
+      if (meet(First, V).Empty)
+        return Tri::False;
+      if (!(First.isFinite() && First.Lo == First.Hi && V.isFinite() &&
+            V.Lo == V.Hi && *First.Lo == *V.Lo))
+        AllEqualPoints = false;
+    }
+    return AllEqualPoints ? Tri::True : Tri::Unknown;
+  }
+  case Kind::Distinct: {
+    if (!isNumericSort(M.sort(M.child(T, 0))))
+      return Tri::Unknown;
+    bool AllDisjoint = true;
+    for (unsigned I = 0; I < M.numChildren(T); ++I)
+      for (unsigned J = I + 1; J < M.numChildren(T); ++J) {
+        Interval A = iv(M.child(T, I)), B = iv(M.child(T, J));
+        if (A.Empty || B.Empty)
+          return Tri::Unknown;
+        if (A.isFinite() && A.Lo == A.Hi && B.isFinite() && B.Lo == B.Hi &&
+            *A.Lo == *B.Lo)
+          return Tri::False;
+        if (!meet(A, B).Empty)
+          AllDisjoint = false;
+      }
+    return AllDisjoint ? Tri::True : Tri::Unknown;
+  }
+  case Kind::Le:
+    return cmpLe(iv(M.child(T, 0)), iv(M.child(T, 1)));
+  case Kind::Lt:
+    return cmpLt(iv(M.child(T, 0)), iv(M.child(T, 1)));
+  case Kind::Ge:
+    return cmpLe(iv(M.child(T, 1)), iv(M.child(T, 0)));
+  case Kind::Gt:
+    return cmpLt(iv(M.child(T, 1)), iv(M.child(T, 0)));
+  case Kind::Ite: {
+    Tri Cond = tri(M.child(T, 0));
+    if (Cond == Tri::True)
+      return tri(M.child(T, 1));
+    if (Cond == Tri::False)
+      return tri(M.child(T, 2));
+    Tri Then = tri(M.child(T, 1)), Else = tri(M.child(T, 2));
+    return Then == Else ? Then : Tri::Unknown;
+  }
+  default:
+    return Tri::Unknown;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Backward contraction.
+//===--------------------------------------------------------------------===//
+
+void Engine::assignBool(Term Var, bool V, unsigned CIdx) {
+  auto [It, Inserted] = BoolAssign.try_emplace(Var.id(), V);
+  if (!Inserted) {
+    if (It->second != V)
+      fail(CIdx);
+    return;
+  }
+  Sources[Var.id()].insert(Conjuncts[CIdx].Root);
+  invalidate();
+}
+
+void Engine::contractFormula(Term T, bool Target, unsigned CIdx) {
+  if (Failed)
+    return;
+  switch (M.kind(T)) {
+  case Kind::ConstBool:
+    if (M.boolValue(T) != Target)
+      fail(CIdx);
+    return;
+  case Kind::Variable:
+    assignBool(T, Target, CIdx);
+    return;
+  case Kind::Not:
+    contractFormula(M.child(T, 0), !Target, CIdx);
+    return;
+  case Kind::And: {
+    if (Target) {
+      for (Term Child : M.children(T)) {
+        contractFormula(Child, true, CIdx);
+        if (Failed)
+          return;
+      }
+      return;
+    }
+    // (and ...) = false: conclusive only when all but one child are
+    // definitely true.
+    unsigned Unknowns = 0;
+    Term Open = T;
+    for (Term Child : M.children(T)) {
+      Tri V = tri(Child);
+      if (V == Tri::False)
+        return; // Already false.
+      if (V == Tri::Unknown) {
+        ++Unknowns;
+        Open = Child;
+      }
+    }
+    if (Unknowns == 0)
+      fail(CIdx);
+    else if (Unknowns == 1)
+      contractFormula(Open, false, CIdx);
+    return;
+  }
+  case Kind::Or: {
+    if (!Target) {
+      for (Term Child : M.children(T)) {
+        contractFormula(Child, false, CIdx);
+        if (Failed)
+          return;
+      }
+      return;
+    }
+    unsigned Unknowns = 0;
+    Term Open = T;
+    for (Term Child : M.children(T)) {
+      Tri V = tri(Child);
+      if (V == Tri::True)
+        return; // Already true.
+      if (V == Tri::Unknown) {
+        ++Unknowns;
+        Open = Child;
+      }
+    }
+    if (Unknowns == 0)
+      fail(CIdx);
+    else if (Unknowns == 1)
+      contractFormula(Open, true, CIdx);
+    return;
+  }
+  case Kind::Implies: {
+    Term A = M.child(T, 0), B = M.child(T, 1);
+    if (!Target) {
+      contractFormula(A, true, CIdx);
+      if (!Failed)
+        contractFormula(B, false, CIdx);
+      return;
+    }
+    if (tri(A) == Tri::True)
+      contractFormula(B, true, CIdx);
+    else if (tri(B) == Tri::False)
+      contractFormula(A, false, CIdx);
+    return;
+  }
+  case Kind::Xor: {
+    if (M.numChildren(T) != 2)
+      return;
+    Term A = M.child(T, 0), B = M.child(T, 1);
+    Tri VA = tri(A), VB = tri(B);
+    // Target = a xor b  =>  b = a xor Target.
+    if (VA != Tri::Unknown)
+      contractFormula(B, (VA == Tri::True) != Target, CIdx);
+    else if (VB != Tri::Unknown)
+      contractFormula(A, (VB == Tri::True) != Target, CIdx);
+    return;
+  }
+  case Kind::Eq: {
+    Term C0 = M.child(T, 0);
+    if (M.sort(C0).isBool()) {
+      if (Target) {
+        // All children equal: any known child pins the rest.
+        Tri Known = Tri::Unknown;
+        for (Term Child : M.children(T))
+          if (tri(Child) != Tri::Unknown) {
+            Known = tri(Child);
+            break;
+          }
+        if (Known == Tri::Unknown)
+          return;
+        for (Term Child : M.children(T)) {
+          contractFormula(Child, Known == Tri::True, CIdx);
+          if (Failed)
+            return;
+        }
+      } else if (M.numChildren(T) == 2) {
+        Term A = C0, B = M.child(T, 1);
+        if (tri(A) != Tri::Unknown)
+          contractFormula(B, tri(A) != Tri::True, CIdx);
+        else if (tri(B) != Tri::Unknown)
+          contractFormula(A, tri(B) != Tri::True, CIdx);
+      }
+      return;
+    }
+    if (!isNumericSort(M.sort(C0)))
+      return;
+    if (Target) {
+      Interval Meet = iv(C0);
+      for (unsigned I = 1; I < M.numChildren(T); ++I)
+        Meet = meet(Meet, iv(M.child(T, I)));
+      for (Term Child : M.childrenCopy(T)) {
+        contractTerm(Child, Meet, CIdx);
+        if (Failed)
+          return;
+      }
+    } else if (M.numChildren(T) == 2) {
+      shaveNeq(C0, M.child(T, 1), CIdx);
+      if (!Failed)
+        shaveNeq(M.child(T, 1), C0, CIdx);
+    }
+    return;
+  }
+  case Kind::Distinct: {
+    if (M.numChildren(T) != 2 || !isNumericSort(M.sort(M.child(T, 0))))
+      return;
+    Term A = M.child(T, 0), B = M.child(T, 1);
+    if (Target) {
+      shaveNeq(A, B, CIdx);
+      if (!Failed)
+        shaveNeq(B, A, CIdx);
+    } else {
+      Interval Meet = meet(iv(A), iv(B));
+      contractTerm(A, Meet, CIdx);
+      if (!Failed)
+        contractTerm(B, Meet, CIdx);
+    }
+    return;
+  }
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::Ge:
+  case Kind::Gt:
+    contractCompare(M.kind(T), M.child(T, 0), M.child(T, 1), Target, CIdx);
+    return;
+  case Kind::Ite: {
+    Term Cond = M.child(T, 0), Then = M.child(T, 1), Else = M.child(T, 2);
+    Tri C = tri(Cond);
+    if (C == Tri::True) {
+      contractFormula(Then, Target, CIdx);
+    } else if (C == Tri::False) {
+      contractFormula(Else, Target, CIdx);
+    } else {
+      Tri TThen = tri(Then), TElse = tri(Else);
+      if (TThen != Tri::Unknown && (TThen == Tri::True) != Target) {
+        // The then-branch cannot produce Target: the condition is false.
+        contractFormula(Cond, false, CIdx);
+        if (!Failed)
+          contractFormula(Else, Target, CIdx);
+      } else if (TElse != Tri::Unknown && (TElse == Tri::True) != Target) {
+        contractFormula(Cond, true, CIdx);
+        if (!Failed)
+          contractFormula(Then, Target, CIdx);
+      }
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Engine::contractCompare(Kind K, Term A, Term B, bool Target,
+                             unsigned CIdx) {
+  // Normalize to A <= B / A < B.
+  if (!Target) {
+    // not (a <= b)  ==  a > b, etc.
+    switch (K) {
+    case Kind::Le:
+      K = Kind::Gt;
+      break;
+    case Kind::Lt:
+      K = Kind::Ge;
+      break;
+    case Kind::Ge:
+      K = Kind::Lt;
+      break;
+    case Kind::Gt:
+      K = Kind::Le;
+      break;
+    default:
+      return;
+    }
+  }
+  if (K == Kind::Ge || K == Kind::Gt) {
+    std::swap(A, B);
+    K = K == Kind::Ge ? Kind::Le : Kind::Lt;
+  }
+  bool Strict = K == Kind::Lt;
+  bool IntSorted = M.sort(A).isInt();
+  // Strict comparisons over Int tighten by one; over Real the closed
+  // endpoint is a sound overapproximation of the open one. The
+  // bad-contract injection applies the Int tightening to non-strict
+  // comparisons too — exactly one off too tight.
+  bool TightenByOne = IntSorted && (Strict || Opts.InjectBadContract);
+
+  Interval UpperForA = Interval::top();
+  if (Interval IB = iv(B); IB.Hi) {
+    UpperForA.Hi = TightenByOne ? *IB.Hi - Rational(1) : *IB.Hi;
+  }
+  contractTerm(A, UpperForA, CIdx);
+  if (Failed)
+    return;
+  Interval LowerForB = Interval::top();
+  if (Interval IA = iv(A); IA.Lo) {
+    LowerForB.Lo = TightenByOne ? *IA.Lo + Rational(1) : *IA.Lo;
+  }
+  contractTerm(B, LowerForB, CIdx);
+}
+
+void Engine::shaveNeq(Term X, Term Other, unsigned CIdx) {
+  // X != Other with Other a known point: shave matching integral
+  // endpoints off X's range.
+  if (!M.sort(X).isInt())
+    return;
+  Interval IO = iv(Other);
+  if (!(IO.isFinite() && IO.Lo == IO.Hi))
+    return;
+  const Rational &P = *IO.Lo;
+  Interval IX = iv(X);
+  if (IX.Empty)
+    return;
+  if (IX.Lo && *IX.Lo == P) {
+    Interval Shaved = Interval::top();
+    Shaved.Lo = P + Rational(1);
+    contractTerm(X, Shaved, CIdx);
+  } else if (IX.Hi && *IX.Hi == P) {
+    Interval Shaved = Interval::top();
+    Shaved.Hi = P - Rational(1);
+    contractTerm(X, Shaved, CIdx);
+  }
+}
+
+void Engine::contractTerm(Term T, const Interval &Target, unsigned CIdx) {
+  if (Failed)
+    return;
+  Interval Cur = iv(T);
+  Interval R = meet(Cur, Target);
+  if (M.sort(T).isInt())
+    R = roundToIntI(R);
+  if (R.Empty) {
+    fail(CIdx);
+    return;
+  }
+  if (R == Cur)
+    return; // Nothing new to push down.
+
+  switch (M.kind(T)) {
+  case Kind::Variable: {
+    Ranges[T.id()] = R;
+    Sources[T.id()].insert(Conjuncts[CIdx].Root);
+    invalidate();
+    return;
+  }
+  case Kind::Neg:
+    contractTerm(M.child(T, 0), backNeg(R), CIdx);
+    return;
+  case Kind::IntAbs:
+    contractTerm(M.child(T, 0), backAbs(R), CIdx);
+    return;
+  case Kind::Add: {
+    unsigned N = M.numChildren(T);
+    for (unsigned I = 0; I < N; ++I) {
+      Interval Others;
+      bool First = true;
+      for (unsigned J = 0; J < N; ++J) {
+        if (J == I)
+          continue;
+        Interval C = iv(M.child(T, J));
+        Others = First ? C : addI(Others, C);
+        First = false;
+      }
+      if (First)
+        Others = Interval::point(Rational(0));
+      contractTerm(M.child(T, I), backAddOperand(R, Others), CIdx);
+      if (Failed)
+        return;
+    }
+    return;
+  }
+  case Kind::Sub: {
+    // c0 - c1 - ... - cn.
+    unsigned N = M.numChildren(T);
+    Interval Tail = Interval::point(Rational(0));
+    for (unsigned J = 1; J < N; ++J)
+      Tail = addI(Tail, iv(M.child(T, J)));
+    contractTerm(M.child(T, 0), backSubLeft(R, Tail), CIdx);
+    if (Failed)
+      return;
+    for (unsigned I = 1; I < N; ++I) {
+      Interval OthersTail = Interval::point(Rational(0));
+      for (unsigned J = 1; J < N; ++J)
+        if (J != I)
+          OthersTail = addI(OthersTail, iv(M.child(T, J)));
+      // Left = c0 minus the other tail terms; value = Left - ci.
+      Interval Left = subI(iv(M.child(T, 0)), OthersTail);
+      contractTerm(M.child(T, I), backSubRight(R, Left), CIdx);
+      if (Failed)
+        return;
+    }
+    return;
+  }
+  case Kind::Mul: {
+    // Narrow only degree-1 factors: inverting x^k needs k-th roots,
+    // which exact rationals do not close over.
+    std::vector<std::pair<uint32_t, unsigned>> Groups;
+    for (Term Child : M.children(T)) {
+      bool Seen = false;
+      for (auto &[Id, Count] : Groups)
+        if (Id == Child.id()) {
+          ++Count;
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Groups.emplace_back(Child.id(), 1);
+    }
+    for (const auto &[Id, Count] : Groups) {
+      if (Count != 1)
+        continue;
+      Interval OthProd = Interval::point(Rational(1));
+      for (const auto &[OId, OCount] : Groups)
+        if (OId != Id)
+          OthProd = mulFullI(OthProd, powFullI(iv(Term(OId)), OCount));
+      contractTerm(Term(Id), backMulOperand(R, OthProd), CIdx);
+      if (Failed)
+        return;
+    }
+    return;
+  }
+  case Kind::RealDiv: {
+    Term A = M.child(T, 0), B = M.child(T, 1);
+    Interval IB = iv(B);
+    if (IB.Empty || IB.contains(Rational(0)))
+      return; // Division may be unconstrained: no narrowing is sound.
+    contractTerm(A, mulFullI(R, IB), CIdx);
+    if (Failed)
+      return;
+    contractTerm(B, divFullI(iv(A), R), CIdx);
+    return;
+  }
+  case Kind::IntDiv:
+    contractTerm(M.child(T, 0), backIntDivDividend(R, iv(M.child(T, 1))),
+                 CIdx);
+    return;
+  case Kind::Ite: {
+    Term Cond = M.child(T, 0), Then = M.child(T, 1), Else = M.child(T, 2);
+    Tri C = tri(Cond);
+    if (C == Tri::True) {
+      contractTerm(Then, R, CIdx);
+    } else if (C == Tri::False) {
+      contractTerm(Else, R, CIdx);
+    } else {
+      bool ThenEmpty = meet(iv(Then), R).Empty;
+      bool ElseEmpty = meet(iv(Else), R).Empty;
+      if (ThenEmpty && ElseEmpty) {
+        fail(CIdx);
+      } else if (ThenEmpty) {
+        contractFormula(Cond, false, CIdx);
+        if (!Failed)
+          contractTerm(Else, R, CIdx);
+      } else if (ElseEmpty) {
+        contractFormula(Cond, true, CIdx);
+        if (!Failed)
+          contractTerm(Then, R, CIdx);
+      }
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Pure literals.
+//===--------------------------------------------------------------------===//
+
+namespace {
+constexpr uint8_t PolPos = 1, PolNeg = 2;
+uint8_t flipPol(uint8_t Mode) {
+  uint8_t Out = 0;
+  if (Mode & PolPos)
+    Out |= PolNeg;
+  if (Mode & PolNeg)
+    Out |= PolPos;
+  return Out;
+}
+} // namespace
+
+void Engine::polarity(Term T, uint8_t Mode,
+                      std::unordered_map<uint32_t, uint8_t> &Out,
+                      std::unordered_set<uint64_t> &Seen) {
+  if (!Seen.insert(uint64_t(T.id()) * 4 + Mode).second)
+    return;
+  switch (M.kind(T)) {
+  case Kind::Variable:
+    if (M.sort(T).isBool())
+      Out[T.id()] |= Mode;
+    return;
+  case Kind::Not:
+    polarity(M.child(T, 0), flipPol(Mode), Out, Seen);
+    return;
+  case Kind::And:
+  case Kind::Or:
+    for (Term Child : M.children(T))
+      polarity(Child, Mode, Out, Seen);
+    return;
+  case Kind::Implies:
+    polarity(M.child(T, 0), flipPol(Mode), Out, Seen);
+    polarity(M.child(T, 1), Mode, Out, Seen);
+    return;
+  default:
+    // Non-monotone or non-Boolean context: count both polarities.
+    for (Term Child : M.children(T))
+      polarity(Child, PolPos | PolNeg, Out, Seen);
+    return;
+  }
+}
+
+void Engine::pureLiteralPass() {
+  std::unordered_map<uint32_t, uint8_t> Pol;
+  std::unordered_set<uint64_t> Seen;
+  for (const Conjunct &C : Conjuncts)
+    if (!C.Dropped)
+      polarity(C.T, PolPos, Pol, Seen);
+  bool Assigned = false;
+  for (const auto &[Id, Mode] : Pol) {
+    if (BoolAssign.count(Id))
+      continue;
+    if (Mode == PolPos)
+      BoolAssign.emplace(Id, true);
+    else if (Mode == PolNeg)
+      BoolAssign.emplace(Id, false);
+    else
+      continue;
+    Assigned = true;
+  }
+  if (!Assigned)
+    return;
+  Memo.clear();
+  // Pure assignments are satisfiability-preserving choices, not entailed
+  // facts: they may only *drop* conjuncts, never conclude unsat.
+  for (Conjunct &C : Conjuncts)
+    if (!C.Dropped && tri(C.T) == Tri::True)
+      C.Dropped = true;
+}
+
+//===--------------------------------------------------------------------===//
+// Results.
+//===--------------------------------------------------------------------===//
+
+Value Engine::pickValue(Term Var) const {
+  const Sort &S = M.sort(Var);
+  if (S.isBool()) {
+    auto It = BoolAssign.find(Var.id());
+    return Value(It != BoolAssign.end() && It->second);
+  }
+  Interval R = rangeOf(Var);
+  Rational V(0);
+  if (!R.contains(V)) {
+    if (R.Lo)
+      V = S.isInt() ? Rational(R.Lo->ceil()) : *R.Lo;
+    else if (R.Hi)
+      V = S.isInt() ? Rational(R.Hi->floor()) : *R.Hi;
+  }
+  if (S.isInt())
+    return Value(V.floor());
+  return Value(V);
+}
+
+void Engine::buildSuggested(PresolveResult &R) const {
+  for (Term Var : Vars)
+    R.Suggested.set(Var, pickValue(Var));
+}
+
+void Engine::buildCertificate(PresolveResult &R) const {
+  std::set<unsigned> Indices;
+  const Conjunct &C = Conjuncts[FailedConjunct];
+  Indices.insert(C.Root);
+  for (Term Var : M.collectVariables(C.T)) {
+    auto It = Sources.find(Var.id());
+    if (It != Sources.end())
+      Indices.insert(It->second.begin(), It->second.end());
+  }
+  for (unsigned I : Indices)
+    R.Certificate.push_back({I, Roots[I]});
+}
+
+void Engine::materialize(PresolveResult &Out) {
+  for (const Conjunct &C : Conjuncts)
+    if (!C.Dropped)
+      Out.Assertions.push_back(C.T);
+  for (Term Var : Vars) {
+    const Sort &S = M.sort(Var);
+    if (S.isBool()) {
+      auto It = BoolAssign.find(Var.id());
+      if (It != BoolAssign.end())
+        Out.Assertions.push_back(It->second ? Var : M.mkNot(Var));
+      continue;
+    }
+    if (!isNumericSort(S))
+      continue;
+    auto It = Ranges.find(Var.id());
+    if (It == Ranges.end() || It->second.isTop())
+      continue;
+    const Interval &R = It->second;
+    if (R.Lo) {
+      Term Const = S.isInt() ? M.mkIntConst(R.Lo->ceil())
+                             : M.mkRealConst(*R.Lo);
+      Out.Assertions.push_back(M.mkCompare(Kind::Ge, Var, Const));
+    }
+    if (R.Hi) {
+      Term Const = S.isInt() ? M.mkIntConst(R.Hi->floor())
+                             : M.mkRealConst(*R.Hi);
+      Out.Assertions.push_back(M.mkCompare(Kind::Le, Var, Const));
+    }
+  }
+}
+
+PresolveResult Engine::run() {
+  PresolveResult Out;
+  if (Roots.empty())
+    return Out;
+
+  for (unsigned I = 0; I < Roots.size(); ++I)
+    flatten(Roots[I], I);
+  {
+    std::unordered_set<uint32_t> SeenVars;
+    for (Term Root : Roots)
+      for (Term Var : M.collectVariables(Root))
+        if (SeenVars.insert(Var.id()).second)
+          Vars.push_back(Var);
+  }
+
+  unsigned Round = 0;
+  while (Round < Opts.MaxRounds && !Failed) {
+    Changed = false;
+    ++Round;
+    for (unsigned CI = 0; CI < Conjuncts.size() && !Failed; ++CI) {
+      Conjunct &C = Conjuncts[CI];
+      if (C.Dropped)
+        continue;
+      switch (tri(C.T)) {
+      case Tri::True:
+        C.Dropped = true;
+        Changed = true;
+        break;
+      case Tri::False:
+        fail(CI);
+        break;
+      case Tri::Unknown:
+        contractFormula(C.T, true, CI);
+        break;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  Out.Stats.Rounds = Round;
+
+  if (Failed) {
+    Out.Stats.Verdict = PresolveVerdict::TriviallyUnsat;
+    buildCertificate(Out);
+    for (const auto &[Id, R] : Ranges)
+      if (!R.isTop())
+        ++Out.Stats.VarsContracted;
+    return Out;
+  }
+
+  pureLiteralPass();
+
+  for (const Conjunct &C : Conjuncts)
+    if (C.Dropped)
+      ++Out.Stats.AssertionsDropped;
+  for (const auto &[Id, R] : Ranges)
+    if (!R.isTop())
+      ++Out.Stats.VarsContracted;
+  Out.VarRanges = Ranges;
+  buildSuggested(Out);
+
+  // Trivially sat? The heuristic witness only proposes; the exact
+  // evaluator on the ORIGINAL conjunction decides.
+  if (evaluatesToTrue(M, M.mkAnd(Roots), Out.Suggested)) {
+    Out.Stats.Verdict = PresolveVerdict::TriviallySat;
+    Out.Witness = Out.Suggested;
+    return Out;
+  }
+
+  materialize(Out);
+  return Out;
+}
+
+} // namespace
+
+PresolveResult analysis::presolve(TermManager &Manager,
+                                  const std::vector<Term> &Assertions,
+                                  const PresolveOptions &Options) {
+  Engine E(Manager, Assertions, Options);
+  return E.run();
+}
+
+void analysis::completeModel(const TermManager &Manager,
+                             const std::vector<Term> &Assertions,
+                             const PresolveResult &P, Model &M) {
+  for (Term Root : Assertions)
+    for (Term Var : Manager.collectVariables(Root)) {
+      if (M.get(Var))
+        continue;
+      if (const Value *V = P.Suggested.get(Var))
+        M.set(Var, *V);
+    }
+}
+
+std::vector<std::string>
+analysis::certificateLines(const TermManager &Manager,
+                           const PresolveResult &P) {
+  std::vector<std::string> Lines;
+  for (const CertificateStep &Step : P.Certificate)
+    Lines.push_back("assertion #" + std::to_string(Step.AssertionIndex) +
+                    ": " + printTerm(Manager, Step.Assertion));
+  return Lines;
+}

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace staub;
 
@@ -326,7 +327,139 @@ GeneratedConstraint conic(TermManager &M, unsigned Instance, SplitMix64 &Rng,
   return Out;
 }
 
+//===--------------------------------------------------------------------===//
+// Statically-decidable family (the presolver's dedicated suite).
+//===--------------------------------------------------------------------===//
+
+/// Contradicting box: a <= x <= b together with x >= b + k. Interval
+/// contraction meets the two upper-side facts into the empty interval.
+GeneratedConstraint staticUnsatBox(TermManager &M, unsigned Instance,
+                                   SplitMix64 &Rng, unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "StaticBox";
+  Out.Name = "sbox_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Unsat;
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t Lo = Rng.range(-Limit, 0);
+  int64_t Hi = Rng.range(1, Limit);
+  int64_t K = Rng.range(1, 8);
+  Term X = M.mkVariable(varName("static_box", Instance, 0), Sort::integer());
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, X, intConst(M, Lo)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, X, intConst(M, Hi)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, X, intConst(M, Hi + K)));
+  return Out;
+}
+
+/// Equality chain ending in a contradiction: x = c, y = x + d, y > c + d.
+/// Contraction pins x then y to points; the strict comparison folds false.
+GeneratedConstraint staticUnsatChain(TermManager &M, unsigned Instance,
+                                     SplitMix64 &Rng, unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "StaticChain";
+  Out.Name = "schain_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Unsat;
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t C = Rng.range(-Limit, Limit);
+  int64_t D = Rng.range(-Limit, Limit);
+  Term X = M.mkVariable(varName("static_chain", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("static_chain", Instance, 1), Sort::integer());
+  Out.Assertions.push_back(M.mkEq(X, intConst(M, C)));
+  Out.Assertions.push_back(
+      M.mkEq(Y, M.mkAdd(std::vector<Term>{X, intConst(M, D)})));
+  Out.Assertions.push_back(M.mkCompare(Kind::Gt, Y, intConst(M, C + D)));
+  return Out;
+}
+
+/// Pinned-sat chain: x = c, y = x + d, y <= c + d, both boxed. Contraction
+/// pins both variables to points that the evaluator then verifies.
+GeneratedConstraint staticSatPinned(TermManager &M, unsigned Instance,
+                                    SplitMix64 &Rng, unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "StaticPinned";
+  Out.Name = "spin_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t C = Rng.range(-Limit, Limit);
+  int64_t D = Rng.range(-Limit, Limit);
+  Term X = M.mkVariable(varName("static_pin", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("static_pin", Instance, 1), Sort::integer());
+  Out.Assertions.push_back(M.mkEq(X, intConst(M, C)));
+  Out.Assertions.push_back(
+      M.mkEq(Y, M.mkAdd(std::vector<Term>{X, intConst(M, D)})));
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, Y, intConst(M, C + D)));
+  int64_t Box = std::max(std::abs(C), std::abs(C + D)) + 8;
+  for (Term V : {X, Y}) {
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Box)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, -Box)));
+  }
+  Model Witness;
+  Witness.set(X, Value(BigInt(C)));
+  Witness.set(Y, Value(BigInt(C + D)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
+/// Boxes around zero plus a slack row satisfied at the origin: any point
+/// of the box works, so the synthesized witness validates immediately.
+GeneratedConstraint staticSatBox(TermManager &M, unsigned Instance,
+                                 SplitMix64 &Rng, unsigned MaxBits) {
+  GeneratedConstraint Out;
+  Out.Family = "StaticBox";
+  Out.Name = "ssat_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t Limit = int64_t(1) << (MaxBits / 2);
+  int64_t BoxX = Rng.range(1, Limit);
+  int64_t BoxY = Rng.range(1, Limit);
+  Term X = M.mkVariable(varName("static_sat", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("static_sat", Instance, 1), Sort::integer());
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, X, intConst(M, BoxX)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, X, intConst(M, -BoxX)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, Y, intConst(M, BoxY)));
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, Y, intConst(M, -BoxY)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkAdd(std::vector<Term>{X, Y}),
+      intConst(M, Rng.range(0, Limit))));
+  Model Witness;
+  Witness.set(X, Value(BigInt(0)));
+  Witness.set(Y, Value(BigInt(0)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
 } // namespace
+
+std::vector<GeneratedConstraint>
+staub::generateStaticSuite(TermManager &Manager, const BenchConfig &Config) {
+  SplitMix64 Rng(Config.Seed ^ 0x51A71Cull);
+  std::vector<GeneratedConstraint> Suite;
+  Suite.reserve(Config.Count);
+  for (unsigned I = 0; I < Config.Count; ++I) {
+    GeneratedConstraint C;
+    switch (static_cast<unsigned>(Rng.below(6))) {
+    case 0:
+      C = staticUnsatBox(Manager, I, Rng, Config.MaxConstantBits);
+      break;
+    case 1:
+      C = staticUnsatChain(Manager, I, Rng, Config.MaxConstantBits);
+      break;
+    case 2:
+      C = staticSatPinned(Manager, I, Rng, Config.MaxConstantBits);
+      break;
+    case 3:
+      C = staticSatBox(Manager, I, Rng, Config.MaxConstantBits);
+      break;
+    default:
+      // Not statically decidable: factoring needs an actual search. The
+      // instance offset keeps variable names disjoint from the QF_NIA
+      // suite when both live in one manager.
+      C = factoring(Manager, 10000 + I, Rng, Rng.chance(1, 2),
+                    Config.MaxConstantBits);
+      break;
+    }
+    Suite.push_back(std::move(C));
+  }
+  return Suite;
+}
 
 std::vector<GeneratedConstraint>
 staub::generateSuite(TermManager &Manager, BenchLogic Logic,

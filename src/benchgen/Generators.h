@@ -70,6 +70,16 @@ std::vector<GeneratedConstraint> generateSuite(TermManager &Manager,
                                                BenchLogic Logic,
                                                const BenchConfig &Config);
 
+/// The presolver's dedicated suite (bench_presolve, docs/ANALYSIS.md): a
+/// seeded Int mix where about two thirds of the instances are statically
+/// decidable by interval contraction alone — contradicting boxes,
+/// equality chains that pin a contradiction or a witness, and boxes with
+/// slack rows satisfied at the suggested point — and the rest are
+/// factoring instances no static analysis can decide. Ground truth is
+/// planted throughout so the harness's soundness cross-checks stay armed.
+std::vector<GeneratedConstraint>
+generateStaticSuite(TermManager &Manager, const BenchConfig &Config);
+
 /// The paper's motivating example (Fig. 1a): sum of three cubes = 855.
 GeneratedConstraint motivatingExample(TermManager &Manager);
 

@@ -43,14 +43,24 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   R.ChosenWidth = Outcome.ChosenWidth;
   R.GuardsEmitted = Outcome.GuardsEmitted;
   R.GuardsElided = Outcome.GuardsElided;
+  R.Presolve = Outcome.Presolve;
 
   // Cross-check against the planted ground truth where available: a
-  // verified STAUB sat answer on a planted-unsat instance would be a
-  // soundness bug.
-  if (C.Expected && Outcome.Path == StaubPath::VerifiedSat &&
-      *C.Expected == SolveStatus::Unsat) {
+  // decisive STAUB answer contradicting the plant would be a soundness
+  // bug (sat claims on planted-unsat, and the presolver's decisive unsat
+  // on planted-sat).
+  if (C.Expected && *C.Expected == SolveStatus::Unsat &&
+      (Outcome.Path == StaubPath::VerifiedSat ||
+       Outcome.Path == StaubPath::PresolvedSat)) {
     std::fprintf(stderr,
                  "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",
+                 C.Name.c_str());
+    std::abort();
+  }
+  if (C.Expected && *C.Expected == SolveStatus::Sat &&
+      Outcome.Path == StaubPath::PresolvedUnsat) {
+    std::fprintf(stderr,
+                 "SOUNDNESS VIOLATION: %s presolved unsat but planted sat\n",
                  C.Name.c_str());
     std::abort();
   }
@@ -88,10 +98,19 @@ void evaluateOneConfigs(TermManager &Manager, const GeneratedConstraint &C,
     R.ChosenWidth = Outcome.ChosenWidth;
     R.GuardsEmitted = Outcome.GuardsEmitted;
     R.GuardsElided = Outcome.GuardsElided;
-    if (C.Expected && Outcome.Path == StaubPath::VerifiedSat &&
-        *C.Expected == SolveStatus::Unsat) {
+    R.Presolve = Outcome.Presolve;
+    if (C.Expected && *C.Expected == SolveStatus::Unsat &&
+        (Outcome.Path == StaubPath::VerifiedSat ||
+         Outcome.Path == StaubPath::PresolvedSat)) {
       std::fprintf(
           stderr, "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",
+          C.Name.c_str());
+      std::abort();
+    }
+    if (C.Expected && *C.Expected == SolveStatus::Sat &&
+        Outcome.Path == StaubPath::PresolvedUnsat) {
+      std::fprintf(
+          stderr, "SOUNDNESS VIOLATION: %s presolved unsat but planted sat\n",
           C.Name.c_str());
       std::abort();
     }
@@ -231,6 +250,10 @@ EvalSummary staub::summarize(const std::vector<EvalRecord> &Records,
       ++S.Tractability;
     if (R.Path == StaubPath::SemanticDifference)
       ++S.SemanticDifferences;
+    if (R.presolveDecided())
+      ++S.PresolveDecided;
+    S.PresolveAssertionsDropped += R.Presolve.AssertionsDropped;
+    S.PresolveWidthBitsSaved += R.Presolve.WidthBitsSaved;
   }
   S.VerifiedSpeedup = geometricMean(VerifiedSpeedups);
   S.OverallSpeedup = geometricMean(AllSpeedups);

@@ -38,9 +38,18 @@ struct EvalRecord {
   /// interval analysis (docs/ANALYSIS.md).
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Presolver counters for this run (analysis/Presolve.h).
+  analysis::PresolveStats Presolve;
 
   double staubSeconds() const { return TTrans + TPost + TCheck; }
-  bool verified() const { return Path == StaubPath::VerifiedSat; }
+  /// The STAUB lane decisively answered the original constraint: a
+  /// verified sat model or a presolve static verdict (either polarity).
+  bool verified() const { return isDecisive(Path); }
+  /// The presolver alone decided this case (zero solver calls).
+  bool presolveDecided() const {
+    return Path == StaubPath::PresolvedSat ||
+           Path == StaubPath::PresolvedUnsat;
+  }
   /// Original lane failed but STAUB produced a verified answer.
   bool tractabilityImprovement() const {
     return OriginalStatus == SolveStatus::Unknown && verified();
@@ -66,6 +75,12 @@ struct EvalSummary {
   unsigned VerifiedCases = 0;
   unsigned Tractability = 0;
   unsigned SemanticDifferences = 0;
+  /// Cases the presolver decided statically (no solver call at all).
+  unsigned PresolveDecided = 0;
+  /// Total top-level conjuncts the presolver dropped across the suite.
+  unsigned PresolveAssertionsDropped = 0;
+  /// Total Int-width bits the contracted ranges saved across the suite.
+  unsigned PresolveWidthBitsSaved = 0;
   double VerifiedSpeedup = 1.0; ///< Geomean over verified cases.
   double OverallSpeedup = 1.0;  ///< Geomean over the whole suite.
 };

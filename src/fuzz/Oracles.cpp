@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracles.h"
 #include "analysis/Lint.h"
+#include "analysis/Presolve.h"
 #include "fuzz/Rewrite.h"
 #include "staub/BoundInference.h"
 #include "staub/Config.h"
@@ -133,18 +134,31 @@ std::optional<Violation> checkPipelineSoundness(TermManager &Manager,
                                                 const OracleOptions &Options) {
   StaubOutcome Outcome = runStaub(Manager, Instance.Assertions, Backend,
                                   pipelineOptions(Options));
-  if (Outcome.Path == StaubPath::VerifiedSat) {
+  if (Outcome.Path == StaubPath::VerifiedSat ||
+      Outcome.Path == StaubPath::PresolvedSat) {
     std::optional<bool> Holds = evaluateConjunction(
         Manager, Instance.Assertions, Outcome.VerifiedModel);
     if (!Holds.value_or(false))
       return makeViolation(
           "pipeline-soundness",
-          "VerifiedSat model fails independent exact re-evaluation",
+          std::string(toString(Outcome.Path)) +
+              " model fails independent exact re-evaluation",
           Instance);
     if (Options.TrustExpected && Instance.Expected == SolveStatus::Unsat)
       return makeViolation("pipeline-soundness",
                            "pipeline verified sat on a planted-unsat instance",
                            Instance);
+  }
+  if (Outcome.Path == StaubPath::PresolvedUnsat && Instance.Planted) {
+    // The presolver's unsat verdict is decisive; a planted witness that
+    // re-validates right here refutes it self-validatingly.
+    std::optional<bool> OnOriginal = evaluateConjunction(
+        Manager, Instance.Assertions, *Instance.Planted);
+    if (OnOriginal.value_or(false))
+      return makeViolation(
+          "pipeline-soundness",
+          "presolver claimed unsat but the planted witness validates",
+          Instance);
   }
   return std::nullopt;
 }
@@ -395,6 +409,109 @@ std::optional<Violation> checkReferenceAgreement(TermManager &Manager,
   return std::nullopt;
 }
 
+/// presolve-equisat: the interval-contraction presolver must preserve
+/// satisfiability. Static verdicts are checked against self-validating
+/// evidence (an evaluator-checked witness, or a re-validating model on the
+/// other side); with no verdict, the presolved set must agree with the
+/// original under a direct solve, and a presolved-side model completed
+/// with the suggested values must transport back to the original.
+/// BugInjection::BadContract deliberately narrows away boundary solutions,
+/// which this oracle must catch.
+std::optional<Violation> checkPresolveEquisat(TermManager &Manager,
+                                              const FuzzInstance &Instance,
+                                              SolverBackend &Backend,
+                                              const OracleOptions &Options) {
+  analysis::PresolveOptions POpts;
+  POpts.InjectBadContract = Options.Inject == BugInjection::BadContract;
+  analysis::PresolveResult Pre =
+      analysis::presolve(Manager, Instance.Assertions, POpts);
+
+  switch (Pre.Stats.Verdict) {
+  case analysis::PresolveVerdict::TriviallySat: {
+    // Self-validating: the synthesized witness must satisfy the ORIGINAL.
+    std::optional<bool> Holds =
+        evaluateConjunction(Manager, Instance.Assertions, Pre.Witness);
+    if (!Holds.value_or(false))
+      return makeViolation("presolve-equisat",
+                           "trivially-sat witness fails the original",
+                           Instance);
+    if (Options.TrustExpected && Instance.Expected == SolveStatus::Unsat)
+      return makeViolation("presolve-equisat",
+                           "presolver claimed sat on a planted-unsat instance",
+                           Instance);
+    return std::nullopt;
+  }
+  case analysis::PresolveVerdict::TriviallyUnsat: {
+    // Claimed only against self-validating counter-evidence: a planted
+    // witness re-validating here, or a direct solve finding a model that
+    // re-validates.
+    if (Instance.Planted) {
+      std::optional<bool> OnOriginal = evaluateConjunction(
+          Manager, Instance.Assertions, *Instance.Planted);
+      if (OnOriginal.value_or(false))
+        return makeViolation(
+            "presolve-equisat",
+            "presolver claimed unsat but the planted witness validates",
+            Instance);
+    }
+    if (stopRequested(Options.Cancel))
+      return std::nullopt;
+    SolveResult Direct =
+        Backend.solve(Manager, Instance.Assertions, solveOptions(Options));
+    if (Direct.Status == SolveStatus::Sat) {
+      std::optional<bool> Holds = evaluateConjunction(
+          Manager, Instance.Assertions, Direct.TheModel);
+      if (Holds.value_or(false))
+        return makeViolation(
+            "presolve-equisat",
+            "presolver claimed unsat but a validated solver model exists",
+            Instance);
+    }
+    return std::nullopt;
+  }
+  case analysis::PresolveVerdict::None:
+    break;
+  }
+
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+
+  // No static verdict: solve both sets; two decisive answers disagreeing
+  // breaks equisatisfiability.
+  SolveResult OrigResult =
+      Backend.solve(Manager, Instance.Assertions, solveOptions(Options));
+  SolveResult PreResult =
+      Backend.solve(Manager, Pre.Assertions, solveOptions(Options));
+  if (decisive(OrigResult.Status) && decisive(PreResult.Status) &&
+      OrigResult.Status != PreResult.Status)
+    return makeViolation("presolve-equisat",
+                         std::string("presolved set answered ") +
+                             std::string(toString(PreResult.Status)) +
+                             " but the original answered " +
+                             std::string(toString(OrigResult.Status)),
+                         Instance);
+  // Model transport: a model of the presolved set, completed with the
+  // suggested values for variables dropped with their assertions, must
+  // satisfy the original. Guarded on the model actually satisfying the
+  // presolved set so a solver-side model bug is not misattributed.
+  if (PreResult.Status == SolveStatus::Sat) {
+    std::optional<bool> OnPre =
+        evaluateConjunction(Manager, Pre.Assertions, PreResult.TheModel);
+    if (OnPre.value_or(false)) {
+      Model Completed = PreResult.TheModel;
+      analysis::completeModel(Manager, Instance.Assertions, Pre, Completed);
+      std::optional<bool> OnOriginal =
+          evaluateConjunction(Manager, Instance.Assertions, Completed);
+      if (!OnOriginal.value_or(false))
+        return makeViolation(
+            "presolve-equisat",
+            "presolved-set model does not transport to the original",
+            Instance);
+    }
+  }
+  return std::nullopt;
+}
+
 using OracleFn = std::optional<Violation> (*)(TermManager &,
                                               const FuzzInstance &,
                                               SolverBackend &,
@@ -414,6 +531,7 @@ constexpr NamedOracle StageOracles[] = {
     {"width-reduction-stability", checkWidthReductionStability},
     {"portfolio-agreement", checkPortfolioAgreement},
     {"reference-agreement", checkReferenceAgreement},
+    {"presolve-equisat", checkPresolveEquisat},
 };
 
 } // namespace

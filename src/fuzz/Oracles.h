@@ -30,6 +30,11 @@
 ///                              truth
 ///   reference-agreement        the MiniSMT backend never disagrees with a
 ///                              reference backend (Z3) on the original
+///   presolve-equisat           the interval-contraction presolver's
+///                              static verdicts are true of the original,
+///                              and its presolved set is equisatisfiable
+///                              with it (models transport through dropped
+///                              assertions via the suggested values)
 ///
 /// Every oracle treats Unknown as vacuous, so time budgets shrink coverage
 /// but never cause false alarms. The BugInjection hook deliberately breaks
@@ -68,6 +73,10 @@ enum class BugInjection : uint8_t {
   /// inside int-translation-exactness. The paper's exactness theorem dies
   /// with the guards, so the oracle must fire.
   DropOverflowGuards,
+  /// Make the presolver contract non-strict Int comparisons one off too
+  /// tight (analysis::PresolveOptions::InjectBadContract). Boundary
+  /// solutions vanish, so presolve-equisat must fire.
+  BadContract,
 };
 
 /// One fuzz input: a constraint plus whatever ground truth the generator

@@ -6,6 +6,7 @@
 
 #include "solver/Icp.h"
 
+#include "analysis/Contract.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -40,139 +41,45 @@ Interval Interval::sub(const Interval &RHS) const { return add(RHS.neg()); }
 
 namespace {
 
-/// Extended value for endpoint products: finite, or +/- infinity.
-struct ExtValue {
-  int InfSign = 0; ///< -1, 0 (finite), +1.
-  Rational Finite;
-
-  static ExtValue negInf() { return {-1, Rational()}; }
-  static ExtValue posInf() { return {+1, Rational()}; }
-  static ExtValue fin(Rational V) { return {0, std::move(V)}; }
-
-  bool operator<(const ExtValue &RHS) const {
-    if (InfSign != RHS.InfSign)
-      return InfSign < RHS.InfSign;
-    if (InfSign != 0)
-      return false;
-    return Finite < RHS.Finite;
-  }
-};
-
-/// Multiplies two interval endpoints with IEEE-like infinity rules.
-/// Sign of 0 * inf is resolved conservatively by the caller (it never
-/// calls with that combination; zero endpoints with an unbounded other
-/// side are special-cased in mul()).
-ExtValue extMul(const ExtValue &A, const ExtValue &B) {
-  if (A.InfSign == 0 && B.InfSign == 0)
-    return ExtValue::fin(A.Finite * B.Finite);
-  int SignA = A.InfSign != 0 ? A.InfSign : A.Finite.sign();
-  int SignB = B.InfSign != 0 ? B.InfSign : B.Finite.sign();
-  int Sign = SignA * SignB;
-  if (Sign > 0)
-    return ExtValue::posInf();
-  if (Sign < 0)
-    return ExtValue::negInf();
-  // 0 * inf: the caller treats this as 0 (valid for endpoint hulls when
-  // the zero side is an exact endpoint).
-  return ExtValue::fin(Rational(0));
+/// The nontrivial kernels (endpoint-infinity products, reciprocal
+/// division, dependency-aware powers) are shared with the presolver; see
+/// analysis/Contract.h. The two interval types are structurally
+/// identical except for the empty representation (crossing endpoints
+/// here, an explicit flag there).
+analysis::Interval toAnalysis(const Interval &I) {
+  if (I.isEmpty())
+    return analysis::Interval::bottom();
+  analysis::Interval Out;
+  Out.Lo = I.Lo;
+  Out.Hi = I.Hi;
+  return Out;
 }
 
-ExtValue loOf(const Interval &I) {
-  return I.Lo ? ExtValue::fin(*I.Lo) : ExtValue::negInf();
-}
-ExtValue hiOf(const Interval &I) {
-  return I.Hi ? ExtValue::fin(*I.Hi) : ExtValue::posInf();
+Interval fromAnalysis(const analysis::Interval &I) {
+  if (I.Empty)
+    return Interval::bounded(Rational(1), Rational(0));
+  Interval Out;
+  Out.Lo = I.Lo;
+  Out.Hi = I.Hi;
+  return Out;
 }
 
 } // namespace
 
 Interval Interval::mul(const Interval &RHS) const {
-  ExtValue Candidates[4] = {
-      extMul(loOf(*this), loOf(RHS)), extMul(loOf(*this), hiOf(RHS)),
-      extMul(hiOf(*this), loOf(RHS)), extMul(hiOf(*this), hiOf(RHS))};
-  ExtValue Min = Candidates[0], Max = Candidates[0];
-  for (int I = 1; I < 4; ++I) {
-    if (Candidates[I] < Min)
-      Min = Candidates[I];
-    if (Max < Candidates[I])
-      Max = Candidates[I];
-  }
-  Interval Out;
-  if (Min.InfSign == 0)
-    Out.Lo = Min.Finite;
-  if (Max.InfSign == 0)
-    Out.Hi = Max.Finite;
-  return Out;
+  return fromAnalysis(analysis::mulFullI(toAnalysis(*this), toAnalysis(RHS)));
 }
 
 Interval Interval::div(const Interval &RHS) const {
-  // If the divisor may be zero, give up (sound hull).
-  if (RHS.contains(Rational(0)))
-    return Interval::all();
-  // Divisor has a definite sign; 1/RHS is monotone.
-  Interval Reciprocal;
-  // RHS strictly positive or strictly negative; endpoints may be missing
-  // (e.g. [2, +inf) -> (0, 1/2]).
-  if (RHS.Lo && RHS.Lo->sign() > 0) {
-    // Positive divisor.
-    Reciprocal.Hi = RHS.Lo->inverse();
-    if (RHS.Hi)
-      Reciprocal.Lo = RHS.Hi->inverse();
-    else
-      Reciprocal.Lo = Rational(0); // Slightly loose (closed at 0).
-  } else {
-    assert(RHS.Hi && RHS.Hi->sign() < 0 && "divisor interval spans zero");
-    Reciprocal.Lo = RHS.Hi->inverse();
-    if (RHS.Lo)
-      Reciprocal.Hi = RHS.Lo->inverse();
-    else
-      Reciprocal.Hi = Rational(0);
-  }
-  return mul(Reciprocal);
+  return fromAnalysis(analysis::divFullI(toAnalysis(*this), toAnalysis(RHS)));
 }
 
 Interval Interval::abs() const {
-  if (Lo && Lo->sign() >= 0)
-    return *this;
-  if (Hi && Hi->sign() <= 0)
-    return neg();
-  // Interval straddles zero.
-  Interval Out;
-  Out.Lo = Rational(0);
-  if (Lo && Hi)
-    Out.Hi = std::max(Lo->negated(), *Hi, [](const Rational &A,
-                                             const Rational &B) {
-      return A < B;
-    });
-  return Out;
-}
-
-/// Rational integer power helper.
-static Rational ratPow(const Rational &V, unsigned N) {
-  return Rational(V.numerator().pow(N), V.denominator().pow(N));
+  return fromAnalysis(analysis::absI(toAnalysis(*this)));
 }
 
 Interval Interval::pow(unsigned N) const {
-  if (N == 0)
-    return Interval::point(Rational(1));
-  if (N == 1)
-    return *this;
-  if (N % 2 == 1) {
-    // Odd powers are monotone.
-    Interval Out;
-    if (Lo)
-      Out.Lo = ratPow(*Lo, N);
-    if (Hi)
-      Out.Hi = ratPow(*Hi, N);
-    return Out;
-  }
-  // Even powers: work on the absolute value (lower endpoint >= 0).
-  Interval A = abs();
-  Interval Out;
-  Out.Lo = A.Lo ? ratPow(*A.Lo, N) : Rational(0);
-  if (A.Hi)
-    Out.Hi = ratPow(*A.Hi, N);
-  return Out;
+  return fromAnalysis(analysis::powFullI(toAnalysis(*this), N));
 }
 
 Interval Interval::meet(const Interval &RHS) const {

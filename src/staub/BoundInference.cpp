@@ -20,6 +20,7 @@
 #include "analysis/Widths.h"
 
 #include <algorithm>
+#include <climits>
 #include <vector>
 
 using namespace staub;
@@ -51,12 +52,45 @@ unsigned largestIntConstWidth(const TermManager &Manager,
 
 } // namespace
 
-IntBounds staub::inferIntBounds(const TermManager &Manager,
-                                const std::vector<Term> &Assertions,
-                                unsigned WidthCap) {
+IntBounds staub::inferIntBounds(
+    const TermManager &Manager, const std::vector<Term> &Assertions,
+    unsigned WidthCap,
+    const std::unordered_map<uint32_t, analysis::Interval> *ContractedRanges) {
   IntBounds Out;
   Out.VariableAssumption =
       capped(largestIntConstWidth(Manager, Assertions) + 1, WidthCap);
+
+  // Presolve-contracted ranges can push the assumption *below* the classic
+  // heuristic: when every Int variable has a finite contracted interval,
+  // variables need only the width of their ranges (constants still have to
+  // be representable, hence the max with the constant width without +1).
+  if (ContractedRanges) {
+    unsigned VarWidth = 1;
+    bool AllFinite = true;
+    for (Term Assertion : Assertions) {
+      for (Term V : Manager.collectVariables(Assertion)) {
+        if (!Manager.sort(V).isInt())
+          continue;
+        auto It = ContractedRanges->find(V.id());
+        unsigned W = It == ContractedRanges->end()
+                         ? UINT_MAX
+                         : analysis::widthOfInterval(It->second);
+        if (W == UINT_MAX) {
+          AllFinite = false;
+          break;
+        }
+        VarWidth = std::max(VarWidth, W);
+      }
+      if (!AllFinite)
+        break;
+    }
+    if (AllFinite) {
+      unsigned Ranged = capped(
+          std::max(largestIntConstWidth(Manager, Assertions), VarWidth),
+          WidthCap);
+      Out.VariableAssumption = std::min(Out.VariableAssumption, Ranged);
+    }
+  }
 
   // Refinement intervals: variables clamped to the assumption range,
   // var-const facts only (variable-variable propagation belongs to the

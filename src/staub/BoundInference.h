@@ -25,9 +25,11 @@
 #ifndef STAUB_STAUB_BOUNDINFERENCE_H
 #define STAUB_STAUB_BOUNDINFERENCE_H
 
+#include "analysis/Interval.h"
 #include "smtlib/Term.h"
 #include "staub/Config.h"
 
+#include <unordered_map>
 #include <vector>
 
 namespace staub {
@@ -51,9 +53,18 @@ struct RealBounds {
 /// \p WidthCap clamps the abstract values so pathological constraints
 /// cannot demand absurd widths (the transformation would then be guarded
 /// by overflow predicates anyway).
-IntBounds inferIntBounds(const TermManager &Manager,
-                         const std::vector<Term> &Assertions,
-                         unsigned WidthCap = config::DefaultWidthCap);
+///
+/// \p ContractedRanges (variable id -> presolve-contracted interval) lets
+/// the assumption drop *below* the classic largest-constant-plus-one
+/// heuristic: when every Int variable has a finite contracted range, the
+/// assumption is max(width of the ranges, width of the largest constant)
+/// — constants must still be representable, but variables no longer get
+/// a spare bit they provably cannot use.
+IntBounds inferIntBounds(
+    const TermManager &Manager, const std::vector<Term> &Assertions,
+    unsigned WidthCap = config::DefaultWidthCap,
+    const std::unordered_map<uint32_t, analysis::Interval> *ContractedRanges =
+        nullptr);
 
 /// Real abstract interpretation.
 RealBounds

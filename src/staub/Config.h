@@ -44,6 +44,12 @@ inline constexpr unsigned RealPrecisionCap = 112;
 /// rounding shows up as a semantic difference during verification.
 inline constexpr unsigned NonTerminatingPrecision = 128;
 
+/// Cap on presolve forward/backward contraction rounds. Contraction is
+/// monotone but rational endpoints need not reach a fixpoint in finite
+/// time (Zeno-style ever-tighter bounds); stopping early only leaves
+/// intervals wider, which is always sound.
+inline constexpr unsigned PresolveMaxRounds = 16;
+
 } // namespace staub::config
 
 #endif // STAUB_STAUB_CONFIG_H

@@ -18,6 +18,10 @@ std::string_view staub::toString(StaubPath Path) {
   switch (Path) {
   case StaubPath::VerifiedSat:
     return "verified-sat";
+  case StaubPath::PresolvedSat:
+    return "presolved-sat";
+  case StaubPath::PresolvedUnsat:
+    return "presolved-unsat";
   case StaubPath::BoundedUnsat:
     return "bounded-unsat";
   case StaubPath::SemanticDifference:
@@ -80,6 +84,36 @@ StaubOutcome staub::runStaub(TermManager &Manager,
     return Outcome;
   }
 
+  // Step 1.5: interval-contraction presolve over the exact unbounded
+  // semantics (analysis/Presolve.h, docs/ANALYSIS.md). Static verdicts
+  // short-circuit the bounded pipeline; otherwise the presolved set
+  // (surviving conjuncts + materialized ranges) replaces the original
+  // whenever it infers a no-worse width, and the contracted ranges let the
+  // variable assumption drop below the constant-width heuristic.
+  analysis::PresolveResult Pre;
+  bool PresolveRan = false;
+  bool UsePresolvedSet = false;
+  if (Options.Presolve) {
+    Pre = analysis::presolve(Manager, Assertions);
+    PresolveRan = true;
+    Outcome.Presolve = Pre.Stats;
+    Outcome.PresolveCertificate = Pre.Certificate;
+    if (Pre.Stats.Verdict == analysis::PresolveVerdict::TriviallyUnsat) {
+      Outcome.Path = StaubPath::PresolvedUnsat;
+      Outcome.TransSeconds = Timer.elapsedSeconds();
+      return Outcome;
+    }
+    if (Pre.Stats.Verdict == analysis::PresolveVerdict::TriviallySat) {
+      Outcome.Path = StaubPath::PresolvedSat;
+      Outcome.VerifiedModel = Pre.Witness;
+      Outcome.TransSeconds = Timer.elapsedSeconds();
+      return Outcome;
+    }
+  }
+  // Never substitute the set under a FixedWidth override: materialized
+  // range constants can exceed the fixed width and sink the translation.
+  bool PresolveCandidate = PresolveRan && !Options.FixedWidth;
+
   TransformResult Transform;
   if (*SortKindUsed == SortKind::Int) {
     unsigned Width;
@@ -89,11 +123,24 @@ StaubOutcome staub::runStaub(TermManager &Manager,
       IntBounds Bounds = inferIntBounds(Manager, Assertions, Options.WidthCap);
       Width = Options.UseRootWidth ? Bounds.RootWidth
                                    : Bounds.VariableAssumption;
+      if (PresolveCandidate) {
+        IntBounds PreBounds = inferIntBounds(Manager, Pre.Assertions,
+                                             Options.WidthCap, &Pre.VarRanges);
+        unsigned PreWidth = Options.UseRootWidth
+                                ? PreBounds.RootWidth
+                                : PreBounds.VariableAssumption;
+        if (PreWidth <= Width) {
+          UsePresolvedSet = true;
+          Outcome.Presolve.WidthBitsSaved = Width - PreWidth;
+          Width = PreWidth;
+        }
+      }
     }
     Outcome.ChosenWidth = Width;
     TransformOptions TOpts;
     TOpts.ElideGuards = Options.ElideGuards;
-    Transform = transformIntToBv(Manager, Assertions, Width, TOpts);
+    Transform = transformIntToBv(
+        Manager, UsePresolvedSet ? Pre.Assertions : Assertions, Width, TOpts);
   } else {
     FpFormat Format{0, 0};
     if (Options.FixedWidth) {
@@ -109,9 +156,24 @@ StaubOutcome staub::runStaub(TermManager &Manager,
                                           config::RealPrecisionCap);
       Format = chooseFpFormat(Bounds.RootMagnitude, Bounds.RootPrecision,
                               Options.StandardFpFormats);
+      if (PresolveCandidate) {
+        RealBounds PreBounds = inferRealBounds(Manager, Pre.Assertions,
+                                               Options.WidthCap,
+                                               config::RealPrecisionCap);
+        FpFormat PreFormat =
+            chooseFpFormat(PreBounds.RootMagnitude, PreBounds.RootPrecision,
+                           Options.StandardFpFormats);
+        if (PreFormat.totalBits() <= Format.totalBits()) {
+          UsePresolvedSet = true;
+          Outcome.Presolve.WidthBitsSaved =
+              Format.totalBits() - PreFormat.totalBits();
+          Format = PreFormat;
+        }
+      }
     }
     Outcome.ChosenFormat = Format;
-    Transform = transformRealToFp(Manager, Assertions, Format);
+    Transform = transformRealToFp(
+        Manager, UsePresolvedSet ? Pre.Assertions : Assertions, Format);
   }
 
   if (!Transform.Ok) {
@@ -148,6 +210,11 @@ StaubOutcome staub::runStaub(TermManager &Manager,
       Outcome.Path = StaubPath::SemanticDifference;
       break;
     }
+    // Model transport: variables whose every occurrence was presolved away
+    // are unbound in the bounded model; fill them from the presolver's
+    // suggestions before checking against the ORIGINAL constraint.
+    if (UsePresolvedSet)
+      analysis::completeModel(Manager, Assertions, Pre, Unbounded);
     Term Original = Manager.mkAnd(Assertions);
     if (evaluatesToTrue(Manager, Original, Unbounded)) {
       Outcome.Path = StaubPath::VerifiedSat;
@@ -178,12 +245,16 @@ PortfolioResult staub::runPortfolioMeasured(
   Result.StaubSeconds = Result.Staub.totalSeconds();
 
   bool OriginalDecided = Original.Status != SolveStatus::Unknown;
-  bool StaubDecided = Result.Staub.Path == StaubPath::VerifiedSat;
+  bool StaubDecided = isDecisive(Result.Staub.Path);
 
   if (StaubDecided && (!OriginalDecided ||
                        Result.StaubSeconds <= Result.OriginalSeconds)) {
-    Result.Status = SolveStatus::Sat;
-    Result.TheModel = Result.Staub.VerifiedModel;
+    if (Result.Staub.Path == StaubPath::PresolvedUnsat) {
+      Result.Status = SolveStatus::Unsat;
+    } else {
+      Result.Status = SolveStatus::Sat;
+      Result.TheModel = Result.Staub.VerifiedModel;
+    }
     Result.StaubWon = true;
     Result.PortfolioSeconds = Result.StaubSeconds;
     return Result;
@@ -242,7 +313,7 @@ PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
   StaubOutcome Staub =
       runStaub(Manager, Assertions, Backend, StaubOptionsWithCancel, nullptr);
   double StaubDone = Timer.elapsedSeconds();
-  bool StaubDecided = Staub.Path == StaubPath::VerifiedSat;
+  bool StaubDecided = isDecisive(Staub.Path);
   if (StaubDecided)
     CancelOriginal.cancel();
   OriginalLane.join();
@@ -253,8 +324,12 @@ PortfolioResult staub::runPortfolioRacing(TermManager &Manager,
 
   bool OriginalDecided = Original.Status != SolveStatus::Unknown;
   if (StaubDecided && (!OriginalDecided || StaubDone <= OriginalDone)) {
-    Result.Status = SolveStatus::Sat;
-    Result.TheModel = Staub.VerifiedModel;
+    if (Staub.Path == StaubPath::PresolvedUnsat) {
+      Result.Status = SolveStatus::Unsat;
+    } else {
+      Result.Status = SolveStatus::Sat;
+      Result.TheModel = Staub.VerifiedModel;
+    }
     Result.StaubWon = true;
     Result.PortfolioSeconds = StaubDone;
     return Result;

@@ -17,6 +17,7 @@
 #ifndef STAUB_STAUB_STAUB_H
 #define STAUB_STAUB_STAUB_H
 
+#include "analysis/Presolve.h"
 #include "solver/Solver.h"
 #include "staub/Config.h"
 #include "staub/Transform.h"
@@ -43,13 +44,22 @@ struct StaubOptions {
   bool UseRootWidth = false;
   /// Round FP formats up to standard IEEE widths (required for SLOT).
   bool StandardFpFormats = false;
+  /// Run the interval-contraction presolver before bound inference
+  /// (analysis/Presolve.h). Static verdicts skip the bounded solve
+  /// entirely; otherwise contracted ranges tighten the inferred width.
+  /// `staub --no-presolve` clears this.
+  bool Presolve = true;
   /// Budget for the bounded-side solve.
   SolverOptions Solve;
 };
 
-/// How a STAUB run ended (Fig. 6).
+/// How a STAUB run ended (Fig. 6, extended with the presolver's static
+/// verdicts).
 enum class StaubPath {
   VerifiedSat,        ///< Bounded sat, model verifies: answer sat.
+  PresolvedSat,       ///< Presolver witness verified: answer sat, no solve.
+  PresolvedUnsat,     ///< Presolver derived a contradiction over the exact
+                      ///< unbounded semantics: answer unsat, no solve.
   BoundedUnsat,       ///< Bounded unsat: revert (underapproximation).
   SemanticDifference, ///< Bounded sat but model fails verification: revert.
   BoundedUnknown,     ///< Bounded solver gave up: revert.
@@ -59,12 +69,26 @@ enum class StaubPath {
 /// Returns a short label for a path.
 std::string_view toString(StaubPath Path);
 
+/// True for paths that decide the ORIGINAL constraint: a verified sat
+/// model or a presolve static verdict. Unlike BoundedUnsat (an
+/// underapproximation artifact), PresolvedUnsat is decisive because the
+/// contraction ran on unbounded semantics.
+constexpr bool isDecisive(StaubPath Path) {
+  return Path == StaubPath::VerifiedSat || Path == StaubPath::PresolvedSat ||
+         Path == StaubPath::PresolvedUnsat;
+}
+
 /// Outcome of the STAUB lane alone (without the portfolio's original-side
 /// lane).
 struct StaubOutcome {
   StaubPath Path = StaubPath::TranslationFailed;
-  /// Verified model in the *original* theory (VerifiedSat only).
+  /// Verified model in the *original* theory (VerifiedSat and
+  /// PresolvedSat).
   Model VerifiedModel;
+  /// Presolver counters (zeroed when presolve is disabled).
+  analysis::PresolveStats Presolve;
+  /// PresolvedUnsat: the contradicting assertion chain.
+  std::vector<analysis::CertificateStep> PresolveCertificate;
   /// Timing decomposition (Sec. 5.1): T_trans, T_post, T_check.
   double TransSeconds = 0.0;
   double SolveSeconds = 0.0;

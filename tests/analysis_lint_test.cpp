@@ -135,6 +135,31 @@ TEST(LintTest, ForeignBoundedScriptNeedsNoGuards) {
       << "with guards required, the unguarded bvadd must be flagged";
 }
 
+TEST(LintTest, MaskedOperandsDischargeGuardViaKnownBits) {
+  // (bvadd (bvand a #x0f) (bvand b #x0f)) at width 8: the interval engine
+  // sees top for both operands, but known-bits proves the high nibble is
+  // zero, so the sum lies in [0, 30] and cannot overflow. The unguarded
+  // op must lint clean even with guards required.
+  TermManager M;
+  Term A = M.mkVariable("lm_a", Sort::bitVec(8));
+  Term B = M.mkVariable("lm_b", Sort::bitVec(8));
+  Term Mask = M.mkBitVecConst(BitVecValue(8, BigInt(15)));
+  Term MaskedA = M.mkApp(Kind::BvAnd, std::vector<Term>{A, Mask});
+  Term MaskedB = M.mkApp(Kind::BvAnd, std::vector<Term>{B, Mask});
+  Term Sum = M.mkApp(Kind::BvAdd, std::vector<Term>{MaskedA, MaskedB});
+  std::vector<Term> Assertions = {
+      M.mkEq(Sum, M.mkBitVecConst(BitVecValue(8, BigInt(9))))};
+  EXPECT_TRUE(lintBounded(M, Assertions).clean())
+      << lintBounded(M, Assertions).toString();
+
+  // Without the mask the same unguarded bvadd is rightly flagged: the
+  // discharge really came from the bit-level facts.
+  std::vector<Term> Unmasked = {
+      M.mkEq(M.mkApp(Kind::BvAdd, std::vector<Term>{A, B}),
+             M.mkBitVecConst(BitVecValue(8, BigInt(9))))};
+  EXPECT_FALSE(lintBounded(M, Unmasked).clean());
+}
+
 //===--------------------------------------------------------------------===//
 // Acceptance campaign: 100% static detection of drop-guards mutants.
 //===--------------------------------------------------------------------===//

@@ -1,0 +1,10 @@
+; staub-fuzz reproducer
+; property: presolve-equisat
+; detail: seeded: contradictory box must be decided statically, no solver
+; seed: 1
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(assert (>= x 0))
+(assert (<= x 10))
+(assert (>= x 11))
+(check-sat)

@@ -1,0 +1,11 @@
+; staub-fuzz reproducer
+; property: presolve-equisat
+; detail: seeded: pinned equality chain must yield a checked static witness
+; seed: 1
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= x 5))
+(assert (= y (+ x 3)))
+(assert (<= y 8))
+(check-sat)

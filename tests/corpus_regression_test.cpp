@@ -14,7 +14,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Presolve.h"
 #include "fuzz/Corpus.h"
+#include "smtlib/Parser.h"
 
 #include <gtest/gtest.h>
 
@@ -42,6 +44,38 @@ TEST(CorpusRegressionTest, EveryReproducerReplaysClean) {
                     << Replay.TheViolation->Property << ": "
                     << Replay.TheViolation->Detail;
   }
+}
+
+TEST(CorpusRegressionTest, SeededPresolveVerdictsHold) {
+  // The two hand-seeded presolve files pin the static verdicts: the
+  // contradictory box must stay TriviallyUnsat (with a certificate), the
+  // pinned chain TriviallySat (with a checked witness). A regression to
+  // Verdict::None would silently re-route both through the solver.
+  bool SawUnsat = false, SawSat = false;
+  for (const std::string &Path : listCorpusFiles(STAUB_CORPUS_DIR)) {
+    bool ExpectUnsat =
+        Path.find("presolve-statically-unsat") != std::string::npos;
+    bool ExpectSat = Path.find("presolve-trivially-sat") != std::string::npos;
+    if (!ExpectUnsat && !ExpectSat)
+      continue;
+    TermManager Manager;
+    ParseResult Parsed = parseSmtLibFile(Manager, Path);
+    ASSERT_TRUE(Parsed.Ok) << Path << ": " << Parsed.Error;
+    analysis::PresolveResult Pre =
+        analysis::presolve(Manager, Parsed.Parsed.Assertions);
+    if (ExpectUnsat) {
+      SawUnsat = true;
+      EXPECT_EQ(Pre.Stats.Verdict, analysis::PresolveVerdict::TriviallyUnsat)
+          << Path;
+      EXPECT_FALSE(Pre.Certificate.empty()) << Path;
+    } else {
+      SawSat = true;
+      EXPECT_EQ(Pre.Stats.Verdict, analysis::PresolveVerdict::TriviallySat)
+          << Path;
+    }
+  }
+  EXPECT_TRUE(SawUnsat) << "seed file presolve-statically-unsat-* missing";
+  EXPECT_TRUE(SawSat) << "seed file presolve-trivially-sat-* missing";
 }
 
 } // namespace

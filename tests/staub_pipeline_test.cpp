@@ -175,10 +175,20 @@ TEST(StaubPipelineTest, UnderapproximationRevertsOnBoundedUnsat) {
   // except... 7 is prime: divisors 1,7: x>7 impossible -> actually unsat.
   auto Backend = createMiniSmtSolver();
   StaubOptions Options;
+  Options.Presolve = false; // The presolver decides this one statically;
+                            // this test pins the reversion path itself.
   StaubOutcome Outcome = runStaub(P2.M, P2.Assertions, *Backend, Options);
   // Bounded side is unsat; STAUB reverts (it cannot distinguish "truly
   // unsat" from "bounds too small").
   EXPECT_EQ(Outcome.Path, StaubPath::BoundedUnsat);
+
+  // With the presolver on, contraction (y = 7/x with x > 7 rounds to the
+  // empty Int interval) proves unsat over the exact unbounded semantics —
+  // a decisive verdict where the bounded lane could only revert.
+  Options.Presolve = true;
+  StaubOutcome Decided = runStaub(P2.M, P2.Assertions, *Backend, Options);
+  EXPECT_EQ(Decided.Path, StaubPath::PresolvedUnsat);
+  EXPECT_FALSE(Decided.PresolveCertificate.empty());
 }
 
 TEST(StaubPipelineTest, RealConstraintVerifiedSat) {
@@ -187,10 +197,22 @@ TEST(StaubPipelineTest, RealConstraintVerifiedSat) {
                "(assert (= (* r 4.0) 3.0))"); // r = 3/4, exact in FP.
   auto Backend = createMiniSmtSolver();
   StaubOptions Options;
+  Options.Presolve = false; // Pin the bounded-solve-then-verify path; the
+                            // presolver would witness r = 3/4 statically.
   StaubOutcome Outcome = runStaub(P.M, P.Assertions, *Backend, Options);
   EXPECT_EQ(Outcome.Path, StaubPath::VerifiedSat);
   if (Outcome.Path == StaubPath::VerifiedSat) {
     const Value *R = Outcome.VerifiedModel.get(P.M.lookupVariable("r"));
+    ASSERT_NE(R, nullptr);
+    EXPECT_EQ(R->asReal().toString(), "3/4");
+  }
+
+  // Default options: contraction pins r to the point 3/4 and the
+  // evaluator-checked witness decides sat with zero solver calls.
+  StaubOutcome Pre = runStaub(P.M, P.Assertions, *Backend, StaubOptions{});
+  EXPECT_EQ(Pre.Path, StaubPath::PresolvedSat);
+  if (Pre.Path == StaubPath::PresolvedSat) {
+    const Value *R = Pre.VerifiedModel.get(P.M.lookupVariable("r"));
     ASSERT_NE(R, nullptr);
     EXPECT_EQ(R->asReal().toString(), "3/4");
   }
@@ -214,7 +236,17 @@ TEST(StaubPipelineTest, PortfolioNeverWorseAndSound) {
   PortfolioResult R =
       runPortfolioMeasured(P.M, P.Assertions, *Backend, Options);
   EXPECT_EQ(R.Status, SolveStatus::Unsat);
-  EXPECT_FALSE(R.StaubWon);
+  // The presolver's unsat verdict is decisive, so the STAUB lane now wins
+  // this one outright (no model to report).
+  EXPECT_TRUE(R.StaubWon);
+  EXPECT_EQ(R.Staub.Path, StaubPath::PresolvedUnsat);
+
+  // With presolve off, only the original lane can answer unsat.
+  Options.Presolve = false;
+  PortfolioResult NoPre =
+      runPortfolioMeasured(P.M, P.Assertions, *Backend, Options);
+  EXPECT_EQ(NoPre.Status, SolveStatus::Unsat);
+  EXPECT_FALSE(NoPre.StaubWon);
 }
 
 TEST(StaubPipelineTest, PortfolioSatPrefersFasterLane) {

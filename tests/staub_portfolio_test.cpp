@@ -250,6 +250,8 @@ TEST(PortfolioRacingTest, IntModelRemapRoundTrips) {
   auto Backend = createMiniSmtSolver();
   StaubOptions Options;
   Options.FixedWidth = 4;
+  Options.Presolve = false; // The presolver would witness x = 1000
+                            // statically; this test pins the remap path.
   Options.Solve.TimeoutSeconds = 20.0;
 
   PortfolioResult R = runPortfolioRacing(P.M, P.Assertions, *Backend, Options);
@@ -274,6 +276,8 @@ TEST(PortfolioRacingTest, RealModelRemapRoundTrips) {
   auto Backend = createMiniSmtSolver();
   StaubOptions Options;
   Options.FixedWidth = 16;
+  Options.Presolve = false; // The presolver would witness x = 1/3
+                            // statically; this test pins the remap path.
   Options.Solve.TimeoutSeconds = 20.0;
 
   PortfolioResult R = runPortfolioRacing(P.M, P.Assertions, *Backend, Options);

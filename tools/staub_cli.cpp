@@ -25,7 +25,8 @@
 ///   --timeout=SECONDS     per-solve budget (default 30)
 ///   --jobs=N              threads for --portfolio (default 2; 1 runs the
 ///                         lanes back to back on the calling thread)
-///   --stats               print timing decomposition
+///   --no-presolve         skip the interval-contraction presolver
+///   --stats               print timing decomposition + presolve counters
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +55,7 @@ struct CliOptions {
   bool Lint = false;
   bool RootWidth = false;
   bool Stats = false;
+  bool NoPresolve = false;
   std::optional<unsigned> FixedWidth;
   double TimeoutSeconds = 30.0;
   unsigned Jobs = 2;
@@ -64,7 +66,7 @@ void printUsage() {
       stderr,
       "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
       "             [--root-width] [--emit-bounded] [--lint] [--timeout=S]\n"
-      "             [--jobs=N] [--stats] [file.smt2]\n");
+      "             [--jobs=N] [--no-presolve] [--stats] [file.smt2]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -87,6 +89,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.RootWidth = true;
     } else if (Arg == "--stats") {
       Options.Stats = true;
+    } else if (Arg == "--no-presolve") {
+      Options.NoPresolve = true;
     } else if (Arg.rfind("--fixed-width=", 0) == 0) {
       int Width = std::atoi(Arg.c_str() + 14);
       if (Width < 1 || Width > 512) {
@@ -157,6 +161,7 @@ int main(int Argc, char **Argv) {
   StaubOptions Options;
   Options.FixedWidth = Cli.FixedWidth;
   Options.UseRootWidth = Cli.RootWidth;
+  Options.Presolve = !Cli.NoPresolve;
   Options.Solve.TimeoutSeconds = Cli.TimeoutSeconds;
 
   if (Cli.EmitBounded || Cli.Lint) {
@@ -229,7 +234,8 @@ int main(int Argc, char **Argv) {
   }
 
   StaubOutcome Outcome = runStaub(Manager, Assertions, *Backend, Options);
-  if (Outcome.Path == StaubPath::VerifiedSat) {
+  if (Outcome.Path == StaubPath::VerifiedSat ||
+      Outcome.Path == StaubPath::PresolvedSat) {
     std::printf("sat\n");
     for (Term Var : Parsed.Parsed.Variables) {
       const Value *V = Outcome.VerifiedModel.get(Var);
@@ -237,6 +243,10 @@ int main(int Argc, char **Argv) {
         std::printf("; %s = %s\n", Manager.variableName(Var).c_str(),
                     V->toString().c_str());
     }
+  } else if (Outcome.Path == StaubPath::PresolvedUnsat) {
+    // Decided on the exact unbounded semantics: unlike BoundedUnsat, no
+    // revert is needed. The certificate is available via staub-lint.
+    std::printf("unsat\n");
   } else {
     // Underapproximation cannot conclude: report and revert to the
     // original constraint.
@@ -248,13 +258,22 @@ int main(int Argc, char **Argv) {
   if (Cli.Stats) {
     if (Outcome.ChosenWidth)
       std::fprintf(stderr, "; width=%u", Outcome.ChosenWidth);
-    else
+    else if (Outcome.ChosenFormat.ExponentBits)
       std::fprintf(stderr, "; format=(_ FloatingPoint %u %u)",
                    Outcome.ChosenFormat.ExponentBits,
                    Outcome.ChosenFormat.SignificandBits);
+    else // Presolve short-circuited before any translation was chosen.
+      std::fprintf(stderr, "; width=none");
     std::fprintf(stderr, " t_trans=%.4fs t_post=%.4fs t_check=%.4fs\n",
                  Outcome.TransSeconds, Outcome.SolveSeconds,
                  Outcome.CheckSeconds);
+    std::fprintf(stderr,
+                 "; presolve verdict=%s rounds=%u dropped=%u contracted=%u "
+                 "width_bits_saved=%u\n",
+                 std::string(toString(Outcome.Presolve.Verdict)).c_str(),
+                 Outcome.Presolve.Rounds, Outcome.Presolve.AssertionsDropped,
+                 Outcome.Presolve.VarsContracted,
+                 Outcome.Presolve.WidthBitsSaved);
   }
   return 0;
 }

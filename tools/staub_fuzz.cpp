@@ -24,6 +24,9 @@
 ///   --no-portfolio     skip the racing-portfolio oracle (fewer threads)
 ///   --inject=drop-guards   deliberately break the Int->BV guards
 ///                          (oracle-sensitivity check: MUST find bugs)
+///   --inject=bad-contract  make the presolver contract non-strict Int
+///                          comparisons one off too tight (presolve-equisat
+///                          sensitivity check: MUST find bugs)
 ///   --corpus=DIR       persist shrunk reproducers under DIR
 ///   --max-violations=N stop after N violations (default 10)
 ///
@@ -44,8 +47,8 @@ void printUsage() {
       stderr,
       "usage: staub-fuzz [--seed=N] [--iters=N] [--time-budget=S] [--jobs=N]\n"
       "                  [--theory=int|real|fp] [--solve-timeout=S] [--use-z3]\n"
-      "                  [--no-portfolio] [--inject=drop-guards] [--corpus=DIR]\n"
-      "                  [--max-violations=N]\n");
+      "                  [--no-portfolio] [--inject=drop-guards|bad-contract]\n"
+      "                  [--corpus=DIR] [--max-violations=N]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, FuzzOptions &Options) {
@@ -93,6 +96,8 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Options) {
       std::string Bug = Arg.substr(9);
       if (Bug == "drop-guards") {
         Options.Inject = BugInjection::DropOverflowGuards;
+      } else if (Bug == "bad-contract") {
+        Options.Inject = BugInjection::BadContract;
       } else {
         std::fprintf(stderr, "error: unknown injection '%s'\n", Bug.c_str());
         return false;
@@ -130,6 +135,8 @@ int main(int Argc, char **Argv) {
               Options.UseZ3 ? " +z3" : "",
               Options.Inject == BugInjection::DropOverflowGuards
                   ? " INJECT=drop-guards"
+              : Options.Inject == BugInjection::BadContract
+                  ? " INJECT=bad-contract"
                   : "");
 
   FuzzReport Report = runFuzzer(Options);

@@ -24,6 +24,10 @@
 ///   --require-guards   enforce guard discipline on bounded input too
 ///   --drop-guards      strip the translator's guards before linting
 ///                      (test hook: exercises the failure path)
+///   --presolve         run the interval-contraction presolver on
+///                      unbounded input first and print its verdict; for
+///                      trivially-unsat input, print the certificate
+///                      chain of contradicting assertions
 ///   -q, --quiet        suppress per-file reports; exit status only
 ///
 /// Exit status: 0 all inputs lint clean (warnings allowed), 1 at least
@@ -32,6 +36,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "analysis/Presolve.h"
 #include "smtlib/Parser.h"
 #include "staub/BoundInference.h"
 #include "staub/Transform.h"
@@ -51,12 +56,13 @@ struct CliOptions {
   std::vector<std::string> Inputs;
   bool RequireGuardsOnBounded = false;
   bool DropGuards = false;
+  bool ShowPresolve = false;
   bool Quiet = false;
 };
 
 void printUsage() {
   std::fprintf(stderr, "usage: staub-lint [--require-guards] [--drop-guards] "
-                       "[-q] [file.smt2...]\n");
+                       "[--presolve] [-q] [file.smt2...]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -66,6 +72,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.RequireGuardsOnBounded = true;
     } else if (Arg == "--drop-guards") {
       Options.DropGuards = true;
+    } else if (Arg == "--presolve") {
+      Options.ShowPresolve = true;
     } else if (Arg == "-q" || Arg == "--quiet") {
       Options.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -109,8 +117,26 @@ InputKind classify(const TermManager &Manager,
 /// input cannot be processed at all.
 int lintOne(TermManager &Manager, const std::vector<Term> &Assertions,
             const std::string &Label, const CliOptions &Cli) {
+  InputKind TheKind = classify(Manager, Assertions);
+
+  if (Cli.ShowPresolve &&
+      (TheKind == InputKind::Int || TheKind == InputKind::Real)) {
+    analysis::PresolveResult Pre = analysis::presolve(Manager, Assertions);
+    if (!Cli.Quiet) {
+      std::printf("%s: presolve verdict=%s rounds=%u dropped=%u "
+                  "contracted=%u\n",
+                  Label.c_str(),
+                  std::string(toString(Pre.Stats.Verdict)).c_str(),
+                  Pre.Stats.Rounds, Pre.Stats.AssertionsDropped,
+                  Pre.Stats.VarsContracted);
+      for (const std::string &Line :
+           analysis::certificateLines(Manager, Pre))
+        std::printf("%s:   %s\n", Label.c_str(), Line.c_str());
+    }
+  }
+
   analysis::LintReport Report;
-  switch (classify(Manager, Assertions)) {
+  switch (TheKind) {
   case InputKind::Bounded:
   case InputKind::Empty: {
     analysis::LintOptions LOpts;
