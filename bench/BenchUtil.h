@@ -30,6 +30,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace staub {
 
@@ -73,6 +75,94 @@ inline unsigned benchJobs(int Argc = 0, char **Argv = nullptr) {
   if (const char *Env = std::getenv("STAUB_BENCH_JOBS"))
     return static_cast<unsigned>(std::max(0, std::atoi(Env)));
   return 1;
+}
+
+/// Machine-readable trajectory output: `--json <file>` / `--json=<file>`
+/// makes a bench mirror its headline numbers into a JSON file (CI uploads
+/// these as artifacts so runs can be compared over time). Empty when the
+/// flag is absent.
+inline std::string benchJsonPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      return Argv[I + 1];
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      return Argv[I] + 7;
+  }
+  return {};
+}
+
+/// Minimal JSON object builder for the trajectory files: flat keys with
+/// number / string / raw (pre-serialized) values. Not a general
+/// serializer — strings are escaped for backslash and quote only, which
+/// covers everything the benches emit.
+class JsonObject {
+public:
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  JsonObject &add(std::string_view Key, T Value) {
+    if constexpr (std::is_same_v<T, bool>)
+      return addRaw(Key, Value ? "true" : "false");
+    else
+      return addRaw(Key, std::to_string(Value));
+  }
+
+  JsonObject &add(std::string_view Key, double Value) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+    return addRaw(Key, Buffer);
+  }
+
+  JsonObject &add(std::string_view Key, std::string_view Value) {
+    std::string Quoted = "\"";
+    for (char C : Value) {
+      if (C == '"' || C == '\\')
+        Quoted += '\\';
+      Quoted += C;
+    }
+    Quoted += '"';
+    return addRaw(Key, Quoted);
+  }
+
+  /// \p Raw must already be valid JSON (a nested object or array).
+  JsonObject &addRaw(std::string_view Key, std::string_view Raw) {
+    if (!Body.empty())
+      Body += ", ";
+    Body += '"';
+    Body += Key;
+    Body += "\": ";
+    Body += Raw;
+    return *this;
+  }
+
+  std::string str() const { return "{" + Body + "}"; }
+
+private:
+  std::string Body;
+};
+
+/// Serializes already-rendered JSON values into an array.
+inline std::string jsonArray(const std::vector<std::string> &Elements) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Elements.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Elements[I];
+  }
+  Out += "]";
+  return Out;
+}
+
+/// Writes \p Json (plus a trailing newline) to \p Path; returns false and
+/// warns on stderr when the file cannot be opened.
+inline bool writeJsonFile(const std::string &Path, const std::string &Json) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "warning: cannot write JSON to %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(File, "%s\n", Json.c_str());
+  std::fclose(File);
+  return true;
 }
 
 } // namespace staub

@@ -43,12 +43,18 @@ double meanChosenWidth(const std::vector<EvalRecord> &Records) {
 int main(int Argc, char **Argv) {
   const double Timeout = benchTimeoutSeconds();
   const unsigned Jobs = benchJobs(Argc, Argv);
+  const std::string JsonPath = benchJsonPath(Argc, Argv);
   std::printf("=== presolver: static decisions and width tightening ===\n");
   std::printf("timeout %.2fs, %u instances per suite, seed %llu, jobs %u\n\n",
               Timeout, benchCount(),
               static_cast<unsigned long long>(benchSeed()), Jobs);
 
   auto Backend = createMiniSmtSolver();
+  JsonObject Out;
+  Out.add("bench", "presolve")
+      .add("timeout_seconds", Timeout)
+      .add("count_per_suite", benchCount())
+      .add("seed", benchSeed());
 
   // Axis 1: static-decision rate on the dedicated suite.
   {
@@ -65,6 +71,12 @@ int main(int Argc, char **Argv) {
                 S.PresolveAssertionsDropped);
     std::printf("  acceptance floor 30%%: %s\n\n",
                 Rate >= 30.0 ? "PASS" : "FAIL");
+    JsonObject Axis;
+    Axis.add("decided", S.PresolveDecided)
+        .add("total", S.Count)
+        .add("rate_percent", Rate)
+        .add("conjuncts_dropped", S.PresolveAssertionsDropped);
+    Out.addRaw("static_suite", Axis.str());
   }
 
   // Axis 2: inferred-width drop on the planted-sat linear suite.
@@ -88,6 +100,15 @@ int main(int Argc, char **Argv) {
                 "statically\n",
                 W0, W1, Pre.PresolveWidthBitsSaved, Pre.PresolveDecided);
     std::printf("  width no worse: %s\n", W1 <= W0 ? "PASS" : "FAIL");
+    JsonObject Axis;
+    Axis.add("mean_width_no_presolve", W0)
+        .add("mean_width_presolve", W1)
+        .add("width_bits_saved", Pre.PresolveWidthBitsSaved)
+        .add("decided_statically", Pre.PresolveDecided);
+    Out.addRaw("lia_width_tightening", Axis.str());
   }
+
+  if (!JsonPath.empty() && writeJsonFile(JsonPath, Out.str()))
+    std::printf("wrote %s\n", JsonPath.c_str());
   return 0;
 }

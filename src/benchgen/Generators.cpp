@@ -426,7 +426,128 @@ GeneratedConstraint staticSatBox(TermManager &M, unsigned Instance,
   return Out;
 }
 
+//===--------------------------------------------------------------------===//
+// Escalation-ladder suite.
+//===--------------------------------------------------------------------===//
+
+/// Pair-product escalator: x, y in [Lo, Lo+3] with x*y >= (x+y)*5.
+/// Constants stay at 5 bits so the inferred width is ~5, but any true
+/// model's product is >= 81 — far outside the bounded range — so the
+/// base-width refutation must use an overflow guard, and one +4 step
+/// already fits every in-box product. False at the presolver's suggested
+/// corner (Lo*Lo < (2*Lo)*5 for Lo <= 11) and interval-overlapping, so
+/// neither static verdict fires.
+GeneratedConstraint escalatePair(TermManager &M, unsigned Instance,
+                                 SplitMix64 &Rng) {
+  GeneratedConstraint Out;
+  Out.Family = "EscalatePair";
+  Out.Name = "esc_pair_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t Lo = 9 + static_cast<int64_t>(Rng.below(3));
+  int64_t Hi = Lo + 3;
+  Term X = M.mkVariable(varName("esc_pair", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("esc_pair", Instance, 1), Sort::integer());
+  for (Term V : {X, Y}) {
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, Lo)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Hi)));
+  }
+  Term Product = M.mkMul(std::vector<Term>{X, Y});
+  Term ScaledSum = M.mkMul(std::vector<Term>{
+      M.mkAdd(std::vector<Term>{X, Y}), intConst(M, 5)});
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, Product, ScaledSum));
+  // (Lo+3)^2 >= (2*Lo+6)*5 holds for every Lo >= 9.
+  Model Witness;
+  Witness.set(X, Value(BigInt(Hi)));
+  Witness.set(Y, Value(BigInt(Hi)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
+/// Triple-product escalator: x, y, z in [9, 12] with x*y*z >= (x+y+z)*K,
+/// K in [28, 31]. The product lies in [729, 1728], so both the inferred
+/// width (~6) and the first escalation step (~10) overflow — two ladder
+/// steps before the model fits. K >= 28 makes the suggested corner
+/// (9,9,9) fail (729 < 27*28) while (12,12,12) succeeds.
+GeneratedConstraint escalateTriple(TermManager &M, unsigned Instance,
+                                   SplitMix64 &Rng) {
+  GeneratedConstraint Out;
+  Out.Family = "EscalateTriple";
+  Out.Name = "esc_triple_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t K = 28 + static_cast<int64_t>(Rng.below(4));
+  Term X = M.mkVariable(varName("esc_triple", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("esc_triple", Instance, 1), Sort::integer());
+  Term Z = M.mkVariable(varName("esc_triple", Instance, 2), Sort::integer());
+  for (Term V : {X, Y, Z}) {
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, 9)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, 12)));
+  }
+  Term Product = M.mkMul(std::vector<Term>{X, Y, Z});
+  Term ScaledSum = M.mkMul(std::vector<Term>{
+      M.mkAdd(std::vector<Term>{X, Y, Z}), intConst(M, K)});
+  Out.Assertions.push_back(M.mkCompare(Kind::Ge, Product, ScaledSum));
+  // 12^3 = 1728 >= 36*K for every K <= 48.
+  Model Witness;
+  for (Term V : {X, Y, Z})
+    Witness.set(V, Value(BigInt(12)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
+/// Disjunction-masked linear contradiction: the sum is forced >= T through
+/// both polarities of a fresh Boolean and <= T-1 directly, so the instance
+/// is unsat at every width, but interval contraction cannot look through
+/// the disjunctions to see it. All sums fit the inferred width, so the
+/// bounded refutation never touches an overflow guard: the ladder must
+/// classify the core as guard-free and revert immediately.
+GeneratedConstraint maskedContradiction(TermManager &M, unsigned Instance,
+                                        SplitMix64 &Rng) {
+  GeneratedConstraint Out;
+  Out.Family = "MaskedContradiction";
+  Out.Name = "esc_mask_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Unsat;
+  int64_t Lo = Rng.range(4, 10);
+  int64_t Hi = Lo + 7;
+  int64_t T = 2 * Lo + 9; // Inside [2*Lo, 2*Hi], so intervals cannot decide.
+  Term X = M.mkVariable(varName("esc_mask", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("esc_mask", Instance, 1), Sort::integer());
+  Term B = M.mkVariable(varName("esc_mask", Instance, 2), Sort::boolean());
+  for (Term V : {X, Y}) {
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V, intConst(M, Lo)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, V, intConst(M, Hi)));
+  }
+  Term Sum = M.mkAdd(std::vector<Term>{X, Y});
+  Term SumGe = M.mkCompare(Kind::Ge, Sum, intConst(M, T));
+  Out.Assertions.push_back(M.mkOr(std::vector<Term>{B, SumGe}));
+  Out.Assertions.push_back(M.mkOr(std::vector<Term>{M.mkNot(B), SumGe}));
+  Out.Assertions.push_back(M.mkCompare(Kind::Le, Sum, intConst(M, T - 1)));
+  return Out;
+}
+
 } // namespace
+
+std::vector<GeneratedConstraint>
+staub::generateEscalationSuite(TermManager &Manager,
+                               const BenchConfig &Config) {
+  SplitMix64 Rng(Config.Seed ^ 0xE5CA1A7Eull);
+  std::vector<GeneratedConstraint> Suite;
+  Suite.reserve(Config.Count);
+  for (unsigned I = 0; I < Config.Count; ++I) {
+    // The instance offset keeps variable names disjoint from the other
+    // suites when several live in one manager.
+    unsigned Instance = 20000 + I;
+    GeneratedConstraint C;
+    unsigned Pick = static_cast<unsigned>(Rng.below(10));
+    if (Pick < 5)
+      C = escalatePair(Manager, Instance, Rng);
+    else if (Pick < 7)
+      C = escalateTriple(Manager, Instance, Rng);
+    else
+      C = maskedContradiction(Manager, Instance, Rng);
+    Suite.push_back(std::move(C));
+  }
+  return Suite;
+}
 
 std::vector<GeneratedConstraint>
 staub::generateStaticSuite(TermManager &Manager, const BenchConfig &Config) {

@@ -80,6 +80,22 @@ std::vector<GeneratedConstraint> generateSuite(TermManager &Manager,
 std::vector<GeneratedConstraint>
 generateStaticSuite(TermManager &Manager, const BenchConfig &Config);
 
+/// The escalation ladder's dedicated suite (bench_table2, escalation
+/// section): an Int mix engineered so that a substantial fraction (well
+/// over a quarter) of the instances are bounded-unsat at the inferred
+/// width yet satisfiable a step or two up the ladder. Two-variable
+/// product constraints (`x*y >= (x+y)*k` over a small box) keep every
+/// constant tiny — so the inferred width stays around 5-6 bits — while
+/// every true model needs an intermediate product far beyond that width,
+/// forcing the overflow guards into the unsat core. The constraints are
+/// deliberately false at the presolver's suggested corner point and
+/// interval-overlapping, so neither static verdict fires. A third family
+/// plants disjunction-masked linear contradictions whose bounded refutation
+/// never touches a guard, exercising the guard-free-core revert path.
+/// Ground truth is planted throughout.
+std::vector<GeneratedConstraint>
+generateEscalationSuite(TermManager &Manager, const BenchConfig &Config);
+
 /// The paper's motivating example (Fig. 1a): sum of three cubes = 855.
 GeneratedConstraint motivatingExample(TermManager &Manager);
 

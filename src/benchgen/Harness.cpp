@@ -43,6 +43,9 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   R.ChosenWidth = Outcome.ChosenWidth;
   R.GuardsEmitted = Outcome.GuardsEmitted;
   R.GuardsElided = Outcome.GuardsElided;
+  R.EscalationSteps = Outcome.EscalationSteps;
+  R.ClausesReused = Outcome.ClausesReused;
+  R.BlastCacheHits = Outcome.BlastCacheHits;
   R.Presolve = Outcome.Presolve;
 
   // Cross-check against the planted ground truth where available: a
@@ -51,6 +54,7 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   // on planted-sat).
   if (C.Expected && *C.Expected == SolveStatus::Unsat &&
       (Outcome.Path == StaubPath::VerifiedSat ||
+       Outcome.Path == StaubPath::EscalatedSat ||
        Outcome.Path == StaubPath::PresolvedSat)) {
     std::fprintf(stderr,
                  "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",
@@ -98,9 +102,13 @@ void evaluateOneConfigs(TermManager &Manager, const GeneratedConstraint &C,
     R.ChosenWidth = Outcome.ChosenWidth;
     R.GuardsEmitted = Outcome.GuardsEmitted;
     R.GuardsElided = Outcome.GuardsElided;
+    R.EscalationSteps = Outcome.EscalationSteps;
+    R.ClausesReused = Outcome.ClausesReused;
+    R.BlastCacheHits = Outcome.BlastCacheHits;
     R.Presolve = Outcome.Presolve;
     if (C.Expected && *C.Expected == SolveStatus::Unsat &&
         (Outcome.Path == StaubPath::VerifiedSat ||
+         Outcome.Path == StaubPath::EscalatedSat ||
          Outcome.Path == StaubPath::PresolvedSat)) {
       std::fprintf(
           stderr, "SOUNDNESS VIOLATION: %s verified sat but planted unsat\n",

@@ -38,6 +38,10 @@ struct EvalRecord {
   /// interval analysis (docs/ANALYSIS.md).
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Width-escalation ladder counters (staub/Staub.h).
+  unsigned EscalationSteps = 0;
+  uint64_t ClausesReused = 0;
+  uint64_t BlastCacheHits = 0;
   /// Presolver counters for this run (analysis/Presolve.h).
   analysis::PresolveStats Presolve;
 

@@ -512,6 +512,78 @@ std::optional<Violation> checkPresolveEquisat(TermManager &Manager,
   return std::nullopt;
 }
 
+/// escalation-equivalence: the incremental width-escalation ladder must be
+/// a pure performance feature on the Int lane. Three obligations: an
+/// EscalatedSat model must survive independent exact re-evaluation; when
+/// the escalating and --no-escalate pipelines are both decisive they must
+/// agree on satisfiability; and the ladder's base-core classification must
+/// match a clean pipeline's claim. The last check is what catches
+/// BugInjection::BadCore — the lie flips BaseCoreHasGuards on guard-free
+/// refutations while verification keeps every verdict sound, so no
+/// verdict-level comparison can see it.
+std::optional<Violation>
+checkEscalationEquivalence(TermManager &Manager, const FuzzInstance &Instance,
+                           SolverBackend &Backend,
+                           const OracleOptions &Options) {
+  if (Options.Theory != FuzzTheory::Int)
+    return std::nullopt; // The ladder only runs on the Int->BV lane.
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+
+  StaubOptions Escalating = pipelineOptions(Options);
+  Escalating.InjectBadCore = Options.Inject == BugInjection::BadCore;
+  StaubOutcome Ladder =
+      runStaub(Manager, Instance.Assertions, Backend, Escalating);
+
+  if (Ladder.Path == StaubPath::EscalatedSat) {
+    std::optional<bool> Holds = evaluateConjunction(
+        Manager, Instance.Assertions, Ladder.VerifiedModel);
+    if (!Holds.value_or(false))
+      return makeViolation(
+          "escalation-equivalence",
+          "escalated-sat model fails independent re-evaluation", Instance);
+    if (Options.TrustExpected && Instance.Expected == SolveStatus::Unsat)
+      return makeViolation(
+          "escalation-equivalence",
+          "ladder verified sat on a planted-unsat instance", Instance);
+  }
+
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+
+  StaubOptions Paper = pipelineOptions(Options);
+  Paper.Escalate = false;
+  StaubOutcome Base = runStaub(Manager, Instance.Assertions, Backend, Paper);
+
+  // The ladder may upgrade a revert into EscalatedSat, but two decisive
+  // answers must agree on satisfiability.
+  if (isDecisive(Ladder.Path) && isDecisive(Base.Path)) {
+    bool LadderSat = Ladder.Path != StaubPath::PresolvedUnsat;
+    bool BaseSat = Base.Path != StaubPath::PresolvedUnsat;
+    if (LadderSat != BaseSat)
+      return makeViolation(
+          "escalation-equivalence",
+          "escalating and --no-escalate pipelines disagree", Instance);
+  }
+
+  // Cross-check the core classification against a clean pipeline. The
+  // pipeline is deterministic, so when both runs actually inspected a base
+  // core (claim != -1) the claims must match; a timeout on either side
+  // leaves its claim unset and the check vacuous, never a false alarm.
+  if (Escalating.InjectBadCore) {
+    if (stopRequested(Options.Cancel))
+      return std::nullopt;
+    StaubOutcome Honest =
+        runStaub(Manager, Instance.Assertions, Backend, pipelineOptions(Options));
+    if (Ladder.BaseCoreHasGuards != -1 && Honest.BaseCoreHasGuards != -1 &&
+        Ladder.BaseCoreHasGuards != Honest.BaseCoreHasGuards)
+      return makeViolation(
+          "escalation-equivalence",
+          "base-core guard claim does not match a clean run", Instance);
+  }
+  return std::nullopt;
+}
+
 using OracleFn = std::optional<Violation> (*)(TermManager &,
                                               const FuzzInstance &,
                                               SolverBackend &,
@@ -532,6 +604,7 @@ constexpr NamedOracle StageOracles[] = {
     {"portfolio-agreement", checkPortfolioAgreement},
     {"reference-agreement", checkReferenceAgreement},
     {"presolve-equisat", checkPresolveEquisat},
+    {"escalation-equivalence", checkEscalationEquivalence},
 };
 
 } // namespace

@@ -35,6 +35,12 @@
 ///                              and its presolved set is equisatisfiable
 ///                              with it (models transport through dropped
 ///                              assertions via the suggested values)
+///   escalation-equivalence     the width-escalation ladder is a pure
+///                              performance feature: it never contradicts
+///                              the --no-escalate pipeline, EscalatedSat
+///                              models re-verify exactly, and the ladder's
+///                              base-core classification matches a clean
+///                              run (catches --inject=bad-core)
 ///
 /// Every oracle treats Unknown as vacuous, so time budgets shrink coverage
 /// but never cause false alarms. The BugInjection hook deliberately breaks
@@ -77,6 +83,12 @@ enum class BugInjection : uint8_t {
   /// tight (analysis::PresolveOptions::InjectBadContract). Boundary
   /// solutions vanish, so presolve-equisat must fire.
   BadContract,
+  /// Make the escalation driver report a guard-free base unsat core as
+  /// guard-only (StaubOptions::InjectBadCore), so the width ladder climbs
+  /// on refutations the guards played no part in. Verification keeps the
+  /// verdicts sound, so escalation-equivalence must catch the flipped
+  /// BaseCoreHasGuards claim against a clean run.
+  BadCore,
 };
 
 /// One fuzz input: a constraint plus whatever ground truth the generator

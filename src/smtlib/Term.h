@@ -261,8 +261,30 @@ private:
     uint32_t ParamB;
     bool operator==(const NodeKey &RHS) const = default;
   };
+  /// Allocation-free key over caller-owned child ids. intern() probes the
+  /// table with a view (C++20 heterogeneous lookup) and materializes an
+  /// owning NodeKey only on a miss, so hot hit paths never touch the heap.
+  struct NodeKeyView {
+    Kind NodeKind;
+    Sort NodeSort;
+    std::span<const uint32_t> Children;
+    uint32_t ParamA;
+    uint32_t ParamB;
+  };
   struct NodeKeyHash {
+    using is_transparent = void;
     size_t operator()(const NodeKey &Key) const;
+    size_t operator()(const NodeKeyView &Key) const;
+  };
+  struct NodeKeyEqual {
+    using is_transparent = void;
+    bool operator()(const NodeKey &A, const NodeKey &B) const {
+      return A == B;
+    }
+    bool operator()(const NodeKeyView &A, const NodeKey &B) const;
+    bool operator()(const NodeKey &A, const NodeKeyView &B) const {
+      return operator()(B, A);
+    }
   };
 
   Term intern(Kind K, Sort S, std::span<const Term> Children,
@@ -270,7 +292,7 @@ private:
 
   std::vector<Node> Nodes;
   std::vector<Term> ChildStorage;
-  std::unordered_map<NodeKey, uint32_t, NodeKeyHash> InternTable;
+  std::unordered_map<NodeKey, uint32_t, NodeKeyHash, NodeKeyEqual> InternTable;
 
   std::vector<BigInt> IntConstants;
   std::vector<Rational> RealConstants;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 using namespace staub;
 
@@ -156,30 +157,68 @@ std::string_view staub::kindName(Kind K) {
   return "<unknown>";
 }
 
-size_t TermManager::NodeKeyHash::operator()(const NodeKey &Key) const {
-  size_t Hash = static_cast<size_t>(Key.NodeKind) * 0x9e3779b97f4a7c15ull;
-  Hash ^= Key.NodeSort.hash() + (Hash << 6);
-  for (uint32_t Child : Key.Children)
+/// Shared hash over the fields of NodeKey/NodeKeyView; both overloads
+/// must agree bit-for-bit for the transparent lookup to be sound.
+static size_t hashNodeFields(Kind NodeKind, Sort NodeSort,
+                             std::span<const uint32_t> Children,
+                             uint32_t ParamA, uint32_t ParamB) {
+  size_t Hash = static_cast<size_t>(NodeKind) * 0x9e3779b97f4a7c15ull;
+  Hash ^= NodeSort.hash() + (Hash << 6);
+  for (uint32_t Child : Children)
     Hash = Hash * 1099511628211ull ^ Child;
-  Hash = Hash * 31 + Key.ParamA;
-  Hash = Hash * 31 + Key.ParamB;
+  Hash = Hash * 31 + ParamA;
+  Hash = Hash * 31 + ParamB;
   return Hash;
+}
+
+size_t TermManager::NodeKeyHash::operator()(const NodeKey &Key) const {
+  return hashNodeFields(Key.NodeKind, Key.NodeSort, Key.Children, Key.ParamA,
+                        Key.ParamB);
+}
+
+size_t TermManager::NodeKeyHash::operator()(const NodeKeyView &Key) const {
+  return hashNodeFields(Key.NodeKind, Key.NodeSort, Key.Children, Key.ParamA,
+                        Key.ParamB);
+}
+
+bool TermManager::NodeKeyEqual::operator()(const NodeKeyView &A,
+                                           const NodeKey &B) const {
+  return A.NodeKind == B.NodeKind && A.NodeSort == B.NodeSort &&
+         A.ParamA == B.ParamA && A.ParamB == B.ParamB &&
+         std::equal(A.Children.begin(), A.Children.end(), B.Children.begin(),
+                    B.Children.end());
 }
 
 Term TermManager::intern(Kind K, Sort S, std::span<const Term> Children,
                          uint32_t ParamA, uint32_t ParamB) {
+  // Stage the child ids in a stack buffer (heap only for unusually wide
+  // nodes) so the hit path — the common case under hash-consing — runs
+  // allocation-free.
+  uint32_t Small[8];
+  std::vector<uint32_t> Large;
+  std::span<const uint32_t> ChildIds;
+  if (Children.size() <= std::size(Small)) {
+    for (size_t I = 0; I < Children.size(); ++I)
+      Small[I] = Children[I].id();
+    ChildIds = {Small, Children.size()};
+  } else {
+    Large.reserve(Children.size());
+    for (Term Child : Children)
+      Large.push_back(Child.id());
+    ChildIds = Large;
+  }
+  NodeKeyView View{K, S, ChildIds, ParamA, ParamB};
+
+  auto Existing = InternTable.find(View);
+  if (Existing != InternTable.end())
+    return Term(Existing->second);
+
   NodeKey Key;
   Key.NodeKind = K;
   Key.NodeSort = S;
-  Key.Children.reserve(Children.size());
-  for (Term Child : Children)
-    Key.Children.push_back(Child.id());
+  Key.Children.assign(ChildIds.begin(), ChildIds.end());
   Key.ParamA = ParamA;
   Key.ParamB = ParamB;
-
-  auto Existing = InternTable.find(Key);
-  if (Existing != InternTable.end())
-    return Term(Existing->second);
 
   Node NewNode;
   NewNode.NodeKind = K;
@@ -283,12 +322,9 @@ Term TermManager::lookupVariable(std::string_view Name) const {
   auto It = VariableIndex.find(std::string(Name));
   if (It == VariableIndex.end())
     return Term();
-  // Reconstruct the handle by re-interning (const_cast-free lookup).
-  NodeKey Key;
-  Key.NodeKind = Kind::Variable;
-  Key.NodeSort = VariableSorts[It->second];
-  Key.ParamA = It->second;
-  Key.ParamB = 0;
+  // Reconstruct the handle by probing the intern table (const-friendly).
+  NodeKeyView Key{Kind::Variable, VariableSorts[It->second], {}, It->second,
+                  0};
   auto NodeIt = InternTable.find(Key);
   assert(NodeIt != InternTable.end() && "declared variable without a node");
   return Term(NodeIt->second);

@@ -275,8 +275,10 @@ BitBlaster::Word BitBlaster::zextWord(const Word &A, unsigned NewWidth) {
 
 BitBlaster::Word BitBlaster::encodeBv(Term T) {
   auto Found = BvCache.find(T.id());
-  if (Found != BvCache.end())
+  if (Found != BvCache.end()) {
+    ++CacheHits;
     return Found->second;
+  }
 
   Kind K = Manager.kind(T);
   unsigned Width = Manager.sort(T).bitVecWidth();
@@ -428,8 +430,10 @@ BitBlaster::Word BitBlaster::encodeBv(Term T) {
 
 Lit BitBlaster::encodeBool(Term T) {
   auto Found = BoolCache.find(T.id());
-  if (Found != BoolCache.end())
+  if (Found != BoolCache.end()) {
+    ++CacheHits;
     return Found->second;
+  }
 
   Kind K = Manager.kind(T);
   Lit Result;

@@ -41,10 +41,16 @@ public:
   /// BitVec variables that occur in encoded terms).
   Model extractModel(const std::vector<Term> &Variables) const;
 
+  /// Memo hits in encodeBool/encodeBv: subterms whose CNF was reused
+  /// instead of re-blasted. Across escalation steps this counts the
+  /// encoding work the incremental session saved.
+  uint64_t cacheHits() const { return CacheHits; }
+
 private:
   const TermManager &Manager;
   SatSolver &Solver;
   Lit TrueLit;
+  uint64_t CacheHits = 0;
 
   std::unordered_map<uint32_t, Lit> BoolCache;
   std::unordered_map<uint32_t, std::vector<Lit>> BvCache;

@@ -291,11 +291,88 @@ SatStatus solveSatWithDeadline(SatSolver &Solver, WallTimer &Timer,
   }
 }
 
+/// One SatSolver + BitBlaster kept alive across escalation steps.
+/// Frames are MiniSat-style relaxation groups: every clause of a frame is
+/// extended with the negated frame selector, so omitting the selector
+/// from the assumptions turns the whole frame off without erasing the
+/// learnt clauses it seeded.
+class MiniSmtIncrementalBv : public IncrementalBvSession {
+public:
+  explicit MiniSmtIncrementalBv(const TermManager &Manager)
+      : Blaster(Manager, Sat) {}
+
+  void pushFrame(const std::vector<Term> &Hard,
+                 const std::vector<Term> &Guards) override {
+    FrameSelector = Lit(Sat.newVar(), false);
+    for (Term Assertion : Hard)
+      Sat.addBinary(~FrameSelector, Blaster.encodeBool(Assertion));
+    GuardSelectors.clear();
+    for (Term Guard : Guards) {
+      Lit Selector = Lit(Sat.newVar(), false);
+      Sat.addBinary(~Selector, Blaster.encodeBool(Guard));
+      GuardSelectors.push_back(Selector);
+    }
+  }
+
+  SolveStatus solve(const SolverOptions &Options) override {
+    if (SolveCalls++ > 0)
+      ClausesReusedTotal += Sat.numLearnts();
+    std::vector<Lit> Assumptions;
+    Assumptions.push_back(FrameSelector);
+    Assumptions.insert(Assumptions.end(), GuardSelectors.begin(),
+                       GuardSelectors.end());
+    WallTimer Timer;
+    for (;;) {
+      SatBudget Chunk;
+      Chunk.MaxConflicts = 2000;
+      Chunk.Cancel = Options.Cancel;
+      SatStatus Status = Sat.solve(Chunk, Assumptions);
+      if (Status == SatStatus::Sat)
+        return SolveStatus::Sat;
+      if (Status == SatStatus::Unsat) {
+        CoreHasGuards = false;
+        for (Lit Failed : Sat.failedAssumptions())
+          for (Lit Selector : GuardSelectors)
+            if (Failed == Selector)
+              CoreHasGuards = true;
+        return SolveStatus::Unsat;
+      }
+      if (Timer.elapsedSeconds() > Options.TimeoutSeconds ||
+          stopRequested(Options.Cancel))
+        return SolveStatus::Unknown;
+    }
+  }
+
+  bool coreHasGuards() const override { return CoreHasGuards; }
+
+  Model model(const std::vector<Term> &Variables) const override {
+    return Blaster.extractModel(Variables);
+  }
+
+  uint64_t clausesReused() const override { return ClausesReusedTotal; }
+  uint64_t blastCacheHits() const override { return Blaster.cacheHits(); }
+
+private:
+  SatSolver Sat;
+  BitBlaster Blaster;
+  Lit FrameSelector;
+  std::vector<Lit> GuardSelectors;
+  unsigned SolveCalls = 0;
+  uint64_t ClausesReusedTotal = 0;
+  bool CoreHasGuards = false;
+};
+
 class MiniSmtSolver : public SolverBackend {
 public:
   SolveResult solve(TermManager &Manager, const std::vector<Term> &Assertions,
                     const SolverOptions &Options) override;
   std::string_view name() const override { return "minismt"; }
+
+  bool supportsIncrementalBv() const override { return true; }
+  std::unique_ptr<IncrementalBvSession>
+  openIncrementalBv(const TermManager &Manager) override {
+    return std::make_unique<MiniSmtIncrementalBv>(Manager);
+  }
 
 private:
   SolveResult solveBitVec(TermManager &Manager,

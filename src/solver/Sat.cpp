@@ -283,6 +283,48 @@ void SatSolver::analyze(int32_t ConflictIndex, std::vector<Lit> &Learnt,
     Seen[Learnt[I].var() - 1] = false;
 }
 
+size_t SatSolver::numLearnts() const {
+  size_t N = 0;
+  for (const Clause &C : Clauses)
+    if (C.Learnt && !C.Lits.empty())
+      ++N;
+  return N;
+}
+
+/// MiniSat's final-conflict analysis: \p Assumption was found false while
+/// injecting assumptions, so the clause database refutes some subset of
+/// them. Walk reason chains backwards from the falsified assumption's
+/// variable; every decision reached is an assumption (only assumptions
+/// are decided at levels 1..n during injection) and joins the core.
+void SatSolver::analyzeFinal(Lit Assumption) {
+  FailedAssumptions.clear();
+  FailedAssumptions.push_back(Assumption);
+  unsigned AssumptionVar = Assumption.var();
+  // Falsified at level 0: the database alone implies its negation, so
+  // the singleton core is already exact.
+  if (decisionLevel() == 0 || Levels[AssumptionVar - 1] == 0)
+    return;
+  Seen[AssumptionVar - 1] = true;
+  for (size_t I = Trail.size(); I-- > TrailLimits[0];) {
+    unsigned Var = Trail[I].var();
+    if (!Seen[Var - 1])
+      continue;
+    Seen[Var - 1] = false;
+    int32_t Reason = Reasons[Var - 1];
+    if (Reason < 0) {
+      // An assumption decision, in exactly the polarity it was passed.
+      FailedAssumptions.push_back(Trail[I]);
+      continue;
+    }
+    const Clause &C = Clauses[Reason];
+    for (size_t K = 1; K < C.Lits.size(); ++K) {
+      unsigned Antecedent = C.Lits[K].var();
+      if (Levels[Antecedent - 1] > 0)
+        Seen[Antecedent - 1] = true;
+    }
+  }
+}
+
 void SatSolver::backtrack(int Level) {
   if (decisionLevel() <= Level)
     return;
@@ -355,6 +397,10 @@ static uint64_t luby(uint64_t I) {
 
 SatStatus SatSolver::solve(const SatBudget &Budget,
                            const std::vector<Lit> &Assumptions) {
+  // An empty failed-assumption set under Unsat means the database itself
+  // is unsatisfiable; analyzeFinal overwrites it when assumptions are to
+  // blame.
+  FailedAssumptions.clear();
   if (Unsatisfiable)
     return SatStatus::Unsat;
   backtrack(0);
@@ -381,8 +427,12 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
       if (Conflict >= 0) {
         ++Conflicts;
         ++RestartConflicts;
-        if (decisionLevel() == 0)
+        if (decisionLevel() == 0) {
+          // Level-0 assignments derive from the clauses alone (assumptions
+          // sit at levels >= 1), so this refutation is global and sticky.
+          Unsatisfiable = true;
           return SatStatus::Unsat;
+        }
         int BacktrackLevel = 0;
         analyze(Conflict, Learnt, BacktrackLevel);
         backtrack(BacktrackLevel);
@@ -390,8 +440,12 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
           backtrack(0);
           if (value(Learnt[0]) == LBool::Undef)
             enqueue(Learnt[0], -1);
-          else if (value(Learnt[0]) == LBool::False)
+          else if (value(Learnt[0]) == LBool::False) {
+            // A learnt unit contradicted at level 0: global unsat, as
+            // learnt clauses are implied by the database alone.
+            Unsatisfiable = true;
             return SatStatus::Unsat;
+          }
         } else {
           uint32_t Index = allocClause(Learnt, /*Learnt=*/true);
           Clauses[Index].Activity = ActivityIncrement;
@@ -417,8 +471,10 @@ SatStatus SatSolver::solve(const SatBudget &Budget,
       if (decisionLevel() < static_cast<int>(Assumptions.size())) {
         Lit Assumption = Assumptions[decisionLevel()];
         LBool V = value(Assumption);
-        if (V == LBool::False)
+        if (V == LBool::False) {
+          analyzeFinal(Assumption);
           return SatStatus::Unsat;
+        }
         TrailLimits.push_back(Trail.size());
         if (V == LBool::Undef)
           enqueue(Assumption, -1);

@@ -87,9 +87,20 @@ public:
   bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
   bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
 
-  /// Solves under the given budget with optional assumptions.
+  /// Solves under the given budget with optional assumptions. Learnt
+  /// clauses and variable activities persist across calls, so a sequence
+  /// of assumption solves over a growing clause database is incremental
+  /// in the MiniSat sense.
   SatStatus solve(const SatBudget &Budget = {},
                   const std::vector<Lit> &Assumptions = {});
+
+  /// After an Unsat result from an assumption solve: the subset of the
+  /// assumption literals (in the polarity they were passed) whose
+  /// conjunction the clause database refutes. Empty when the database is
+  /// unsatisfiable on its own — i.e. the assumptions are not to blame.
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
 
   /// Model access after a Sat result.
   bool modelValue(unsigned Var) const;
@@ -99,6 +110,10 @@ public:
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numPropagations() const { return Propagations; }
   uint64_t numDecisions() const { return Decisions; }
+
+  /// Learnt clauses currently alive in the database (survivors of
+  /// reduceLearnts); the escalation driver reports these as reused work.
+  size_t numLearnts() const;
 
 private:
   struct Clause {
@@ -144,12 +159,14 @@ private:
   uint64_t Propagations = 0;
   uint64_t Decisions = 0;
   bool Unsatisfiable = false;
+  std::vector<Lit> FailedAssumptions;
 
   int decisionLevel() const { return static_cast<int>(TrailLimits.size()); }
   void enqueue(Lit L, int32_t Reason);
   int32_t propagate(); ///< Returns conflicting clause index or -1.
   void analyze(int32_t ConflictIndex, std::vector<Lit> &Learnt,
                int &BacktrackLevel);
+  void analyzeFinal(Lit Assumption);
   void backtrack(int Level);
   Lit pickDecision();
   void bumpVariable(unsigned Var);

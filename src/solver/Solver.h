@@ -61,6 +61,45 @@ struct SolveResult {
   double TimeSeconds = 0.0;
 };
 
+/// An incremental bounded-solving session for the width-escalation
+/// ladder. Each escalation step pushes a *frame*: the Int constraints
+/// re-translated at the next width plus that width's overflow guards.
+/// Every frame gets a fresh selector literal and every guard its own;
+/// solve() assumes only the newest frame's selectors, so earlier widths'
+/// clauses stay in the database (their learnt consequences are reused)
+/// but no longer constrain anything. After an unsat answer the failed-
+/// assumption core tells the driver whether the guards are to blame
+/// (escalate) or the translated constraints themselves are (revert).
+class IncrementalBvSession {
+public:
+  virtual ~IncrementalBvSession() = default;
+
+  /// Adds a new width frame. \p Hard are the translated assertions,
+  /// \p Guards the no-overflow side conditions; both are bit-blasted
+  /// immediately (re-using the session's CNF memo for shared subterms).
+  virtual void pushFrame(const std::vector<Term> &Hard,
+                         const std::vector<Term> &Guards) = 0;
+
+  /// Solves under the newest frame's selectors.
+  virtual SolveStatus solve(const SolverOptions &Options) = 0;
+
+  /// After an Unsat solve: whether the failed-assumption core contains at
+  /// least one of the newest frame's guard selectors. False means the
+  /// refutation stands without any guard, i.e. the bounded instance is
+  /// genuinely unsat at this width.
+  virtual bool coreHasGuards() const = 0;
+
+  /// After a Sat solve: values for \p Variables.
+  virtual Model model(const std::vector<Term> &Variables) const = 0;
+
+  /// Learnt clauses alive at entry to solves after the first — CDCL work
+  /// carried across escalation steps instead of redone.
+  virtual uint64_t clausesReused() const = 0;
+
+  /// CNF-memo hits while bit-blasting all frames so far.
+  virtual uint64_t blastCacheHits() const = 0;
+};
+
 /// Abstract solver backend.
 class SolverBackend {
 public:
@@ -73,6 +112,19 @@ public:
 
   /// Human-readable backend name ("z3", "minismt").
   virtual std::string_view name() const = 0;
+
+  /// Whether openIncrementalBv() is available. Process-level backends
+  /// (e.g. the Z3 adapter) cannot hold solver state across calls, so the
+  /// escalation driver falls back to the paper's revert behaviour there.
+  virtual bool supportsIncrementalBv() const { return false; }
+
+  /// Opens an incremental session over \p Manager (which must outlive
+  /// it). Returns nullptr when unsupported.
+  virtual std::unique_ptr<IncrementalBvSession>
+  openIncrementalBv(const TermManager &Manager) {
+    (void)Manager;
+    return nullptr;
+  }
 };
 
 /// Creates the internal from-scratch solver.

@@ -22,6 +22,12 @@ namespace staub::config {
 /// verification cover the truncation.
 inline constexpr unsigned DefaultWidthCap = 64;
 
+/// Width added per escalation step when a bounded-unsat core blames only
+/// the overflow guards (Sec. 4.4 extension; UppSAT-style refinement).
+/// Small steps keep each retry cheap, and the incremental session makes
+/// the retries near-free anyway.
+inline constexpr unsigned EscalationStepBits = 4;
+
 /// Default cap on inferred floating-point magnitude bits.
 inline constexpr unsigned DefaultMagnitudeCap = 64;
 

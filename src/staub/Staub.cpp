@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <thread>
+#include <unordered_set>
 
 using namespace staub;
 
@@ -18,6 +19,8 @@ std::string_view staub::toString(StaubPath Path) {
   switch (Path) {
   case StaubPath::VerifiedSat:
     return "verified-sat";
+  case StaubPath::EscalatedSat:
+    return "escalated-sat";
   case StaubPath::PresolvedSat:
     return "presolved-sat";
   case StaubPath::PresolvedUnsat:
@@ -63,6 +66,92 @@ std::optional<SortKind> unboundedSortOf(const TermManager &Manager,
   if (HasReal)
     return SortKind::Real;
   return std::nullopt;
+}
+
+/// The width-escalation ladder (Sec. 4.4 extension). Entered after the
+/// backend reported bounded-unsat: replays the base width inside an
+/// incremental session (the one-shot backend call cannot expose a core),
+/// and while the failed-assumption core blames an overflow guard, retries
+/// at width + EscalationStepBits. Learnt clauses, variable activities and
+/// the CNF memo persist across steps, so each retry is near-free.
+/// Soundness is untouched: a revert keeps the paper's behaviour, and an
+/// escalated model is only accepted after verifying against the ORIGINAL
+/// assertions under exact unbounded semantics.
+void escalateWidths(TermManager &Manager,
+                    const std::vector<Term> &OriginalAssertions,
+                    const std::vector<Term> &Input,
+                    const analysis::PresolveResult &Pre, bool UsePresolvedSet,
+                    SolverBackend &Backend, const StaubOptions &Options,
+                    const TransformOptions &TOpts, StaubOutcome &Outcome) {
+  std::unique_ptr<IncrementalBvSession> Session =
+      Backend.openIncrementalBv(Manager);
+  if (!Session)
+    return;
+  unsigned Width = Outcome.ChosenWidth;
+  for (;;) {
+    // The racing portfolio cancels the STAUB lane through this token;
+    // give up between steps so the loser thread exits promptly.
+    if (stopRequested(Options.Solve.Cancel))
+      return;
+    TransformResult Step = transformIntToBv(Manager, Input, Width, TOpts);
+    if (!Step.Ok)
+      return;
+    std::vector<Term> Hard(Step.Assertions.begin(),
+                           Step.Assertions.begin() + Step.TranslatedCount);
+    std::vector<Term> Guards(Step.Assertions.begin() + Step.TranslatedCount,
+                             Step.Assertions.end());
+    Session->pushFrame(Hard, Guards);
+    SolveStatus Status = Session->solve(Options.Solve);
+    Outcome.ClausesReused = Session->clausesReused();
+    Outcome.BlastCacheHits = Session->blastCacheHits();
+    if (Status == SolveStatus::Unknown)
+      return; // Timeout or cancellation: keep the sound revert answer.
+    if (Status == SolveStatus::Sat) {
+      // Extract every variable the step's model may be asked for: the
+      // translated conjunction's variables plus all VariableMap targets
+      // (a variable can be simplified out of the translation entirely).
+      std::vector<Term> Variables =
+          Manager.collectVariables(Manager.mkAnd(Step.Assertions));
+      std::unordered_set<uint32_t> Known;
+      for (Term V : Variables)
+        Known.insert(V.id());
+      for (const auto &[OrigId, Mapped] : Step.VariableMap)
+        if (Known.insert(Mapped.id()).second)
+          Variables.push_back(Mapped);
+      Model Bounded = Session->model(Variables);
+      Model Unbounded;
+      if (!convertModelBack(Manager, Step, Bounded, Unbounded)) {
+        Outcome.Path = StaubPath::SemanticDifference;
+        return;
+      }
+      if (UsePresolvedSet)
+        analysis::completeModel(Manager, OriginalAssertions, Pre, Unbounded);
+      Term Original = Manager.mkAnd(OriginalAssertions);
+      if (evaluatesToTrue(Manager, Original, Unbounded)) {
+        Outcome.Path = Outcome.EscalationSteps ? StaubPath::EscalatedSat
+                                               : StaubPath::VerifiedSat;
+        Outcome.VerifiedModel = std::move(Unbounded);
+        Outcome.ChosenWidth = Width;
+      } else {
+        Outcome.Path = StaubPath::SemanticDifference;
+      }
+      return;
+    }
+    // Unsat: escalate only when an overflow guard carries the blame.
+    bool HasGuardCore = Session->coreHasGuards();
+    if (Options.InjectBadCore && !HasGuardCore)
+      HasGuardCore = true; // Deliberate misclassification under fuzzing.
+    if (Outcome.EscalationSteps == 0)
+      Outcome.BaseCoreHasGuards = HasGuardCore ? 1 : 0;
+    if (!HasGuardCore)
+      return; // Guard-free refutation: unsat at this width regardless of
+              // the guards, so wider wrap-around semantics is the only
+              // thing escalation could buy — revert instead (sound).
+    if (Width + config::EscalationStepBits > Options.WidthCap)
+      return; // Ladder exhausted.
+    Width += config::EscalationStepBits;
+    ++Outcome.EscalationSteps;
+  }
 }
 
 } // namespace
@@ -115,6 +204,9 @@ StaubOutcome staub::runStaub(TermManager &Manager,
   bool PresolveCandidate = PresolveRan && !Options.FixedWidth;
 
   TransformResult Transform;
+  TransformOptions TOpts;
+  TOpts.ElideGuards = Options.ElideGuards;
+  TOpts.Escalate = Options.Escalate;
   if (*SortKindUsed == SortKind::Int) {
     unsigned Width;
     if (Options.FixedWidth) {
@@ -137,8 +229,6 @@ StaubOutcome staub::runStaub(TermManager &Manager,
       }
     }
     Outcome.ChosenWidth = Width;
-    TransformOptions TOpts;
-    TOpts.ElideGuards = Options.ElideGuards;
     Transform = transformIntToBv(
         Manager, UsePresolvedSet ? Pre.Assertions : Assertions, Width, TOpts);
   } else {
@@ -194,6 +284,22 @@ StaubOutcome staub::runStaub(TermManager &Manager,
   // Step 3: solve the bounded constraint.
   SolveResult Bounded = Backend.solve(Manager, ToSolve, Options.Solve);
   Outcome.SolveSeconds = Bounded.TimeSeconds;
+
+  // Step 3.5: width-escalation ladder on bounded-unsat (Int lane only;
+  // an optimizer would have to be re-run per step, so SLOT chaining
+  // keeps the paper's revert). Ladder time counts as solve time.
+  if (Bounded.Status == SolveStatus::Unsat &&
+      *SortKindUsed == SortKind::Int && TOpts.Escalate &&
+      !Options.FixedWidth && !Optimizer && Backend.supportsIncrementalBv()) {
+    WallTimer EscalateTimer;
+    Outcome.Path = StaubPath::BoundedUnsat;
+    escalateWidths(Manager, Assertions,
+                   UsePresolvedSet ? Pre.Assertions : Assertions, Pre,
+                   UsePresolvedSet, Backend, Options, TOpts, Outcome);
+    Outcome.SolveSeconds += EscalateTimer.elapsedSeconds();
+    if (Outcome.Path != StaubPath::BoundedUnsat)
+      return Outcome; // The ladder reached its own verdict.
+  }
 
   // Step 4: verification (Fig. 6).
   WallTimer CheckTimer;

@@ -49,6 +49,16 @@ struct StaubOptions {
   /// entirely; otherwise contracted ranges tighten the inferred width.
   /// `staub --no-presolve` clears this.
   bool Presolve = true;
+  /// On bounded-unsat with a guard-only unsat core, escalate the width
+  /// (+EscalationStepBits per step, up to WidthCap) through an
+  /// incremental session instead of reverting (needs a backend with
+  /// supportsIncrementalBv; Int lane only). `staub --no-escalate` clears
+  /// this and reproduces the paper's revert-on-unsat behaviour exactly.
+  bool Escalate = true;
+  /// Fuzzing fault injection: report a guard-free base core as
+  /// guard-only, so the ladder climbs on refutations that do not involve
+  /// the guards. Oracle 10 (escalation-equivalence) must catch this.
+  bool InjectBadCore = false;
   /// Budget for the bounded-side solve.
   SolverOptions Solve;
 };
@@ -57,6 +67,8 @@ struct StaubOptions {
 /// verdicts).
 enum class StaubPath {
   VerifiedSat,        ///< Bounded sat, model verifies: answer sat.
+  EscalatedSat,       ///< Bounded unsat at the inferred width, but a wider
+                      ///< escalation step found a model that verifies.
   PresolvedSat,       ///< Presolver witness verified: answer sat, no solve.
   PresolvedUnsat,     ///< Presolver derived a contradiction over the exact
                       ///< unbounded semantics: answer unsat, no solve.
@@ -74,7 +86,9 @@ std::string_view toString(StaubPath Path);
 /// underapproximation artifact), PresolvedUnsat is decisive because the
 /// contraction ran on unbounded semantics.
 constexpr bool isDecisive(StaubPath Path) {
-  return Path == StaubPath::VerifiedSat || Path == StaubPath::PresolvedSat ||
+  return Path == StaubPath::VerifiedSat ||
+         Path == StaubPath::EscalatedSat ||
+         Path == StaubPath::PresolvedSat ||
          Path == StaubPath::PresolvedUnsat;
 }
 
@@ -99,6 +113,16 @@ struct StaubOutcome {
   /// Overflow guards kept vs. statically discharged (Int lane).
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Width-escalation ladder counters (zero when the ladder never ran).
+  unsigned EscalationSteps = 0;    ///< Widths tried beyond the inferred one.
+  uint64_t ClausesReused = 0;      ///< Learnt clauses alive entering steps.
+  uint64_t BlastCacheHits = 0;     ///< CNF-memo hits across all steps.
+  /// What the base-width unsat core looked like: -1 when the ladder never
+  /// inspected it, 0 guard-free (genuine bounded unsat), 1 guard-only or
+  /// mixed (escalation-worthy). The escalation-equivalence fuzz oracle
+  /// cross-checks this claim against a clean pipeline run to catch core
+  /// misclassification (--inject=bad-core).
+  int8_t BaseCoreHasGuards = -1;
   /// The translated constraint (for SLOT chaining and inspection).
   std::vector<Term> BoundedAssertions;
 

@@ -36,6 +36,7 @@ public:
     }
     // Guards go after the translated assertions (order is irrelevant for
     // satisfiability; this matches the paper's presentation in Fig. 1b).
+    Result.TranslatedCount = Result.Assertions.size();
     Result.Assertions.insert(Result.Assertions.end(), Guards.begin(),
                              Guards.end());
     Result.VariableMap = VariableMap;

@@ -36,6 +36,11 @@ struct TransformOptions {
   /// provability predicate, so lint accepts elided output by
   /// construction.
   bool ElideGuards = true;
+  /// Allow the escalation driver to retry this translation at larger
+  /// widths when a bounded-unsat core blames only the overflow guards
+  /// (incremental width-escalation ladder). Off reproduces the paper's
+  /// revert-on-unsat behaviour exactly.
+  bool Escalate = true;
 };
 
 /// Result of translating a constraint into a bounded theory.
@@ -44,6 +49,10 @@ struct TransformResult {
   std::string FailReason;
   /// Translated assertions, including the inserted overflow guards.
   std::vector<Term> Assertions;
+  /// How many leading entries of Assertions are translations of the
+  /// input assertions; the remainder are overflow guards. The escalation
+  /// driver splits on this to put guards behind selector literals.
+  size_t TranslatedCount = 0;
   /// Original variable -> bounded variable.
   std::unordered_map<uint32_t, Term> VariableMap;
   /// Chosen width (Int case) or format (Real case).

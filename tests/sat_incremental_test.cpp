@@ -1,0 +1,164 @@
+//===- tests/sat_incremental_test.cpp - Assumption-based solving ----------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniSat-style incremental interface: solve under assumptions, final
+// conflict analysis (failed-assumption cores), and clause-database reuse
+// across calls — the substrate of the width-escalation ladder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Sat.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace staub;
+
+namespace {
+
+Lit pos(unsigned V) { return Lit(V, false); }
+Lit neg(unsigned V) { return Lit(V, true); }
+
+bool coreContains(const std::vector<Lit> &Core, Lit L) {
+  return std::find(Core.begin(), Core.end(), L) != Core.end();
+}
+
+TEST(SatIncrementalTest, AssumptionsRestrictButDoNotPersist) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addBinary(pos(A), pos(B)); // a or b.
+
+  // Assuming both false contradicts the clause.
+  EXPECT_EQ(S.solve({}, {neg(A), neg(B)}), SatStatus::Unsat);
+  EXPECT_FALSE(S.failedAssumptions().empty());
+
+  // Assumptions are not clauses: the same solver is still sat without
+  // them, and a one-sided assumption forces the other branch.
+  EXPECT_EQ(S.solve({}, {neg(A)}), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_EQ(S.solve(), SatStatus::Sat);
+}
+
+TEST(SatIncrementalTest, FailedCoreExcludesIrrelevantAssumptions) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+  S.addBinary(neg(A), neg(B)); // a and b conflict.
+
+  EXPECT_EQ(S.solve({}, {pos(A), pos(B), pos(C), pos(D)}), SatStatus::Unsat);
+  const std::vector<Lit> &Core = S.failedAssumptions();
+  // The core blames exactly the interacting pair, in passed polarity.
+  EXPECT_TRUE(coreContains(Core, pos(A)));
+  EXPECT_TRUE(coreContains(Core, pos(B)));
+  EXPECT_FALSE(coreContains(Core, pos(C)));
+  EXPECT_FALSE(coreContains(Core, pos(D)));
+}
+
+TEST(SatIncrementalTest, ContradictoryAssumptionsFormTheCore) {
+  SatSolver S;
+  unsigned A = S.newVar();
+  unsigned B = S.newVar();
+  S.addUnit(pos(B)); // Unrelated clause; database itself is sat.
+
+  EXPECT_EQ(S.solve({}, {pos(A), neg(A)}), SatStatus::Unsat);
+  const std::vector<Lit> &Core = S.failedAssumptions();
+  EXPECT_TRUE(coreContains(Core, pos(A)));
+  EXPECT_TRUE(coreContains(Core, neg(A)));
+  EXPECT_FALSE(coreContains(Core, pos(B)));
+}
+
+TEST(SatIncrementalTest, GlobalUnsatYieldsEmptyCore) {
+  // Pigeonhole PHP(4, 3): unsat from the clause database alone, so no
+  // assumption subset is to blame and the core must stay empty.
+  SatSolver S;
+  unsigned Holes = 3, Pigeons = 4;
+  std::vector<std::vector<unsigned>> Var(Pigeons,
+                                         std::vector<unsigned>(Holes));
+  for (unsigned P = 0; P < Pigeons; ++P)
+    for (unsigned H = 0; H < Holes; ++H)
+      Var[P][H] = S.newVar();
+  for (unsigned P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(pos(Var[P][H]));
+    S.addClause(AtLeastOne);
+  }
+  for (unsigned H = 0; H < Holes; ++H)
+    for (unsigned P1 = 0; P1 < Pigeons; ++P1)
+      for (unsigned P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addBinary(neg(Var[P1][H]), neg(Var[P2][H]));
+
+  unsigned Free = S.newVar();
+  EXPECT_EQ(S.solve({}, {pos(Free)}), SatStatus::Unsat);
+  EXPECT_TRUE(S.failedAssumptions().empty());
+
+  // Global unsat is sticky: later calls answer immediately.
+  EXPECT_EQ(S.solve(), SatStatus::Unsat);
+  EXPECT_EQ(S.solve({}, {neg(Free)}), SatStatus::Unsat);
+  EXPECT_TRUE(S.failedAssumptions().empty());
+}
+
+/// Pigeonhole PHP(Holes+1, Holes) with every clause guarded by ~Selector,
+/// so the contradiction is only active under the Selector assumption.
+unsigned guardedPigeonhole(SatSolver &S, unsigned Holes) {
+  unsigned Selector = S.newVar();
+  unsigned Pigeons = Holes + 1;
+  std::vector<std::vector<unsigned>> Var(Pigeons,
+                                         std::vector<unsigned>(Holes));
+  for (unsigned P = 0; P < Pigeons; ++P)
+    for (unsigned H = 0; H < Holes; ++H)
+      Var[P][H] = S.newVar();
+  for (unsigned P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> AtLeastOne{neg(Selector)};
+    for (unsigned H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(pos(Var[P][H]));
+    S.addClause(AtLeastOne);
+  }
+  for (unsigned H = 0; H < Holes; ++H)
+    for (unsigned P1 = 0; P1 < Pigeons; ++P1)
+      for (unsigned P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addTernary(neg(Selector), neg(Var[P1][H]), neg(Var[P2][H]));
+  return Selector;
+}
+
+TEST(SatIncrementalTest, LearntClausesMakeRepeatSolvesCheap) {
+  SatSolver S;
+  unsigned Selector = guardedPigeonhole(S, 6);
+
+  uint64_t Before = S.numConflicts();
+  EXPECT_EQ(S.solve({}, {pos(Selector)}), SatStatus::Unsat);
+  uint64_t FirstRun = S.numConflicts() - Before;
+  EXPECT_GT(FirstRun, 10u) << "PHP(7,6) should require real search";
+  EXPECT_TRUE(coreContains(S.failedAssumptions(), pos(Selector)));
+  EXPECT_GT(S.numLearnts(), 0u);
+
+  // The learnt clauses survive into the next call and carry most of the
+  // refutation: the repeat solve is (near-)conflict-free.
+  Before = S.numConflicts();
+  EXPECT_EQ(S.solve({}, {pos(Selector)}), SatStatus::Unsat);
+  uint64_t SecondRun = S.numConflicts() - Before;
+  EXPECT_LT(SecondRun, FirstRun / 2)
+      << "clause reuse should make the repeat refutation much cheaper";
+
+  // Without the selector the guarded contradiction is inert.
+  EXPECT_EQ(S.solve(), SatStatus::Sat);
+}
+
+TEST(SatIncrementalTest, ClausesAddedBetweenAssumptionSolves) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addBinary(pos(A), pos(B));
+  EXPECT_EQ(S.solve({}, {neg(A)}), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+
+  // Growing the database between calls is the incremental contract.
+  S.addUnit(neg(B));
+  EXPECT_EQ(S.solve({}, {neg(A)}), SatStatus::Unsat);
+  EXPECT_TRUE(coreContains(S.failedAssumptions(), neg(A)));
+  EXPECT_EQ(S.solve({}, {pos(A)}), SatStatus::Sat);
+}
+
+} // namespace

@@ -219,6 +219,48 @@ TEST(FuzzEngineTest, InjectedGuardDropIsCaughtAndShrunk) {
   }
 }
 
+TEST(FuzzEngineTest, InjectedBadCoreIsCaughtByEscalationEquivalence) {
+  // The bad-core injection makes the width ladder climb on a guard-free
+  // refutation, but verification keeps every verdict sound — no amount of
+  // verdict comparison can see the lie. Only the escalation-equivalence
+  // oracle's clean-run cross-check of the BaseCoreHasGuards claim can,
+  // so pin that it does, on the disjunction-masked contradiction the
+  // presolver cannot settle and the guards play no part in.
+  TermManager M;
+  Term X = M.mkVariable("bc_x", Sort::integer());
+  Term Y = M.mkVariable("bc_y", Sort::integer());
+  Term B = M.mkVariable("bc_b", Sort::boolean());
+  auto IntC = [&](int64_t V) { return M.mkIntConst(BigInt(V)); };
+  FuzzInstance Instance;
+  Instance.Name = "bad-core-pin";
+  for (Term V : {X, Y}) {
+    Instance.Assertions.push_back(M.mkCompare(Kind::Ge, V, IntC(4)));
+    Instance.Assertions.push_back(M.mkCompare(Kind::Le, V, IntC(11)));
+  }
+  Term Sum = M.mkAdd(std::vector<Term>{X, Y});
+  Term SumGe = M.mkCompare(Kind::Ge, Sum, IntC(17));
+  Instance.Assertions.push_back(M.mkOr(std::vector<Term>{B, SumGe}));
+  Instance.Assertions.push_back(M.mkOr(std::vector<Term>{M.mkNot(B), SumGe}));
+  Instance.Assertions.push_back(M.mkCompare(Kind::Le, Sum, IntC(16)));
+  Instance.Expected = SolveStatus::Unsat;
+
+  auto Backend = createMiniSmtSolver();
+  OracleOptions Options;
+  Options.SolveTimeoutSeconds = 5.0;
+  std::optional<Violation> Clean = runOracleByName("escalation-equivalence",
+                                                   M, Instance, *Backend,
+                                                   Options);
+  EXPECT_FALSE(Clean.has_value()) << Clean->Detail;
+
+  Options.Inject = BugInjection::BadCore;
+  std::optional<Violation> Caught = runOracleByName("escalation-equivalence",
+                                                    M, Instance, *Backend,
+                                                    Options);
+  ASSERT_TRUE(Caught.has_value())
+      << "oracle failed to detect the injected bad-core lie";
+  EXPECT_EQ(Caught->Property, "escalation-equivalence");
+}
+
 TEST(FuzzEngineTest, CleanCampaignFindsNothing) {
   // Seed/range picked so every instance solves far inside the budget; a
   // timed-out oracle is a skip, not a pass, so fast instances keep this

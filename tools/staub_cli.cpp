@@ -26,7 +26,10 @@
 ///   --jobs=N              threads for --portfolio (default 2; 1 runs the
 ///                         lanes back to back on the calling thread)
 ///   --no-presolve         skip the interval-contraction presolver
-///   --stats               print timing decomposition + presolve counters
+///   --no-escalate         revert on bounded-unsat instead of escalating
+///                         the width through an incremental session
+///   --stats               print timing decomposition + presolve and
+///                         escalation counters
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +59,7 @@ struct CliOptions {
   bool RootWidth = false;
   bool Stats = false;
   bool NoPresolve = false;
+  bool NoEscalate = false;
   std::optional<unsigned> FixedWidth;
   double TimeoutSeconds = 30.0;
   unsigned Jobs = 2;
@@ -66,7 +70,8 @@ void printUsage() {
       stderr,
       "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
       "             [--root-width] [--emit-bounded] [--lint] [--timeout=S]\n"
-      "             [--jobs=N] [--no-presolve] [--stats] [file.smt2]\n");
+      "             [--jobs=N] [--no-presolve] [--no-escalate] [--stats]\n"
+      "             [file.smt2]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -91,6 +96,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.Stats = true;
     } else if (Arg == "--no-presolve") {
       Options.NoPresolve = true;
+    } else if (Arg == "--no-escalate") {
+      Options.NoEscalate = true;
     } else if (Arg.rfind("--fixed-width=", 0) == 0) {
       int Width = std::atoi(Arg.c_str() + 14);
       if (Width < 1 || Width > 512) {
@@ -162,6 +169,7 @@ int main(int Argc, char **Argv) {
   Options.FixedWidth = Cli.FixedWidth;
   Options.UseRootWidth = Cli.RootWidth;
   Options.Presolve = !Cli.NoPresolve;
+  Options.Escalate = !Cli.NoEscalate;
   Options.Solve.TimeoutSeconds = Cli.TimeoutSeconds;
 
   if (Cli.EmitBounded || Cli.Lint) {
@@ -235,6 +243,7 @@ int main(int Argc, char **Argv) {
 
   StaubOutcome Outcome = runStaub(Manager, Assertions, *Backend, Options);
   if (Outcome.Path == StaubPath::VerifiedSat ||
+      Outcome.Path == StaubPath::EscalatedSat ||
       Outcome.Path == StaubPath::PresolvedSat) {
     std::printf("sat\n");
     for (Term Var : Parsed.Parsed.Variables) {
@@ -274,6 +283,12 @@ int main(int Argc, char **Argv) {
                  Outcome.Presolve.Rounds, Outcome.Presolve.AssertionsDropped,
                  Outcome.Presolve.VarsContracted,
                  Outcome.Presolve.WidthBitsSaved);
+    std::fprintf(stderr,
+                 "; escalation steps=%u clauses_reused=%llu "
+                 "blast_cache_hits=%llu\n",
+                 Outcome.EscalationSteps,
+                 static_cast<unsigned long long>(Outcome.ClausesReused),
+                 static_cast<unsigned long long>(Outcome.BlastCacheHits));
   }
   return 0;
 }

@@ -27,6 +27,9 @@
 ///   --inject=bad-contract  make the presolver contract non-strict Int
 ///                          comparisons one off too tight (presolve-equisat
 ///                          sensitivity check: MUST find bugs)
+///   --inject=bad-core      make the escalation ladder report guard-free
+///                          base cores as guard-only (escalation-equivalence
+///                          sensitivity check: MUST find bugs)
 ///   --corpus=DIR       persist shrunk reproducers under DIR
 ///   --max-violations=N stop after N violations (default 10)
 ///
@@ -47,7 +50,8 @@ void printUsage() {
       stderr,
       "usage: staub-fuzz [--seed=N] [--iters=N] [--time-budget=S] [--jobs=N]\n"
       "                  [--theory=int|real|fp] [--solve-timeout=S] [--use-z3]\n"
-      "                  [--no-portfolio] [--inject=drop-guards|bad-contract]\n"
+      "                  [--no-portfolio]\n"
+      "                  [--inject=drop-guards|bad-contract|bad-core]\n"
       "                  [--corpus=DIR] [--max-violations=N]\n");
 }
 
@@ -98,6 +102,8 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Options) {
         Options.Inject = BugInjection::DropOverflowGuards;
       } else if (Bug == "bad-contract") {
         Options.Inject = BugInjection::BadContract;
+      } else if (Bug == "bad-core") {
+        Options.Inject = BugInjection::BadCore;
       } else {
         std::fprintf(stderr, "error: unknown injection '%s'\n", Bug.c_str());
         return false;
@@ -137,6 +143,8 @@ int main(int Argc, char **Argv) {
                   ? " INJECT=drop-guards"
               : Options.Inject == BugInjection::BadContract
                   ? " INJECT=bad-contract"
+              : Options.Inject == BugInjection::BadCore
+                  ? " INJECT=bad-core"
                   : "");
 
   FuzzReport Report = runFuzzer(Options);
