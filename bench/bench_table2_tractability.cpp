@@ -54,7 +54,7 @@ std::string runEscalationSection(double Timeout, unsigned Jobs) {
     Converted += Reverted && Climbed;
     Steps += All[1][I].EscalationSteps;
     Reused += All[1][I].ClausesReused;
-    CacheHits += All[1][I].BlastCacheHits;
+    CacheHits += All[1][I].SessionBlastCacheHits;
   }
   double RevertRate =
       Suite.empty() ? 0.0 : 100.0 * double(Reverts) / double(Suite.size());
@@ -66,7 +66,7 @@ std::string runEscalationSection(double Timeout, unsigned Jobs) {
               "%u converted to escalated-sat (%.0f%%)\n",
               Suite.size(), Reverts, RevertRate, Converted, Conversion);
   std::printf("  ladder work: %llu steps, %llu learnt clauses reused, "
-              "%llu blast-cache hits\n",
+              "%llu session blast-cache hits\n",
               Steps, Reused, CacheHits);
   std::printf("  acceptance (>=25%% reverts, >=50%% converted): %s\n\n",
               RevertRate >= 25.0 && Conversion >= 50.0 ? "PASS" : "FAIL");
@@ -80,7 +80,7 @@ std::string runEscalationSection(double Timeout, unsigned Jobs) {
       .add("conversion_rate_percent", Conversion)
       .add("escalation_steps", Steps)
       .add("clauses_reused", Reused)
-      .add("blast_cache_hits", CacheHits);
+      .add("session_blast_cache_hits", CacheHits);
   return Out.str();
 }
 

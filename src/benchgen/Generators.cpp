@@ -550,6 +550,95 @@ staub::generateEscalationSuite(TermManager &Manager,
 }
 
 std::vector<GeneratedConstraint>
+staub::generateVcStreamSuite(TermManager &Manager, const BenchConfig &Config,
+                             unsigned Bases, unsigned Variants) {
+  SplitMix64 Rng(Config.Seed ^ 0x5C57EA11ull);
+  std::vector<GeneratedConstraint> Suite;
+  Suite.reserve(static_cast<size_t>(Bases) * Variants);
+  unsigned Bits = Config.MaxConstantBits < 8 ? 8 : Config.MaxConstantBits;
+  if (Bits > 30)
+    Bits = 30;
+  const int64_t Box = int64_t(1) << Bits;
+
+  for (unsigned B = 0; B < Bases; ++B) {
+    // The instance offset keeps variable names disjoint from the other
+    // suites; names are also disjoint per base, so cache sharing happens
+    // exactly within one base's variant group.
+    unsigned Instance = 30000 + B;
+    Term X[4];
+    for (unsigned I = 0; I < 4; ++I)
+      X[I] = Manager.mkVariable(varName("vc", Instance, I), Sort::integer());
+
+    // Planted witness: X0 = Anchor, the rest 0. The workload is tuned so
+    // per-query cost is dominated by CNF construction, the regime a warm
+    // cross-query cache is built for: the row bounds sit near Box^2, so
+    // the inferred width is about twice MaxConstantBits and every
+    // X_P * X_Q row blasts to a width^2 multiplier circuit — yet no
+    // bound is interval-redundant (the presolver keeps every row and
+    // narrows nothing, leaving the multipliers at full width), and the
+    // rows are loose enough that the SAT search is almost pure
+    // propagation.
+    // Anchor > Variants so every variant's Floor below stays distinct
+    // and witness-compatible.
+    int64_t Anchor = Rng.range(int64_t(Variants) + 2, int64_t(Variants) + 20);
+
+    std::vector<Term> BaseConjuncts;
+    for (unsigned I = 0; I < 4; ++I) {
+      BaseConjuncts.push_back(
+          Manager.mkCompare(Kind::Ge, X[I], intConst(Manager, 0)));
+      BaseConjuncts.push_back(
+          Manager.mkCompare(Kind::Le, X[I], intConst(Manager, Box)));
+    }
+    // Additive anchor: false at the all-zero corner (so the presolver's
+    // suggested witness fails) but true at the planted point.
+    Term Sum01 = Manager.mkAdd(std::vector<Term>{X[0], X[1]});
+    BaseConjuncts.push_back(
+        Manager.mkCompare(Kind::Ge, Sum01, intConst(Manager, Anchor)));
+    // Product rows. Bound ~ Box^2/2 is below the interval maximum
+    // (Box^2 + K*Box), so the row survives presolve, but far above the
+    // row's value at the planted witness (all products zero).
+    const int64_t BoxSq = Box * Box;
+    for (unsigned J = 0; J < 6; ++J) {
+      unsigned P = static_cast<unsigned>(Rng.below(4));
+      unsigned Q = (P + 1 + static_cast<unsigned>(Rng.below(3))) % 4;
+      unsigned R = 1 + static_cast<unsigned>(Rng.below(3));
+      int64_t K = Rng.range(2, 16);
+      int64_t Bound =
+          BoxSq / 2 + static_cast<int64_t>(Rng.below(uint64_t(BoxSq) / 4));
+      Term Lhs = Manager.mkAdd(std::vector<Term>{
+          Manager.mkMul(std::vector<Term>{X[P], X[Q]}),
+          Manager.mkMul(std::vector<Term>{intConst(Manager, K), X[R]})});
+      BaseConjuncts.push_back(
+          Manager.mkCompare(Kind::Le, Lhs, intConst(Manager, Bound)));
+    }
+
+    for (unsigned V = 0; V < Variants; ++V) {
+      GeneratedConstraint C;
+      C.Name = "vc_s" + std::to_string(B) + "_v" + std::to_string(V);
+      C.Family = "vc-stream";
+      C.Assertions = BaseConjuncts;
+      // The one varying conjunct: same shape, different constant, still
+      // satisfied by the planted witness (X0 + X2 = Anchor >= Floor) and
+      // false at the all-zero corner (Floor >= 1). A lower bound narrows
+      // nothing — X0's interval keeps its full Box width, so the variant
+      // cannot shrink the shared rows' blasted multipliers.
+      int64_t Floor = 1 + int64_t(V);
+      Term Sum02 = Manager.mkAdd(std::vector<Term>{X[0], X[2]});
+      C.Assertions.push_back(
+          Manager.mkCompare(Kind::Ge, Sum02, intConst(Manager, Floor)));
+      C.Expected = SolveStatus::Sat;
+      Model Witness;
+      Witness.set(X[0], Value(BigInt(Anchor)));
+      for (unsigned I = 1; I < 4; ++I)
+        Witness.set(X[I], Value(BigInt(0)));
+      C.Planted = std::move(Witness);
+      Suite.push_back(std::move(C));
+    }
+  }
+  return Suite;
+}
+
+std::vector<GeneratedConstraint>
 staub::generateStaticSuite(TermManager &Manager, const BenchConfig &Config) {
   SplitMix64 Rng(Config.Seed ^ 0x51A71Cull);
   std::vector<GeneratedConstraint> Suite;

@@ -45,7 +45,10 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   R.GuardsElided = Outcome.GuardsElided;
   R.EscalationSteps = Outcome.EscalationSteps;
   R.ClausesReused = Outcome.ClausesReused;
-  R.BlastCacheHits = Outcome.BlastCacheHits;
+  R.SessionBlastCacheHits = Outcome.SessionBlastCacheHits;
+  R.CrossBlastCacheHits = Outcome.CrossBlastCacheHits;
+  R.CrossBlastCacheMisses = Outcome.CrossBlastCacheMisses;
+  R.CrossClausesReused = Outcome.CrossClausesReused;
   R.Presolve = Outcome.Presolve;
 
   // Cross-check against the planted ground truth where available: a
@@ -104,7 +107,10 @@ void evaluateOneConfigs(TermManager &Manager, const GeneratedConstraint &C,
     R.GuardsElided = Outcome.GuardsElided;
     R.EscalationSteps = Outcome.EscalationSteps;
     R.ClausesReused = Outcome.ClausesReused;
-    R.BlastCacheHits = Outcome.BlastCacheHits;
+    R.SessionBlastCacheHits = Outcome.SessionBlastCacheHits;
+    R.CrossBlastCacheHits = Outcome.CrossBlastCacheHits;
+    R.CrossBlastCacheMisses = Outcome.CrossBlastCacheMisses;
+    R.CrossClausesReused = Outcome.CrossClausesReused;
     R.Presolve = Outcome.Presolve;
     if (C.Expected && *C.Expected == SolveStatus::Unsat &&
         (Outcome.Path == StaubPath::VerifiedSat ||

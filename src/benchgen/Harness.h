@@ -41,7 +41,11 @@ struct EvalRecord {
   /// Width-escalation ladder counters (staub/Staub.h).
   unsigned EscalationSteps = 0;
   uint64_t ClausesReused = 0;
-  uint64_t BlastCacheHits = 0;
+  uint64_t SessionBlastCacheHits = 0;
+  /// Cross-query shared-cache counters (zero without a shared cache).
+  uint64_t CrossBlastCacheHits = 0;
+  uint64_t CrossBlastCacheMisses = 0;
+  uint64_t CrossClausesReused = 0;
   /// Presolver counters for this run (analysis/Presolve.h).
   analysis::PresolveStats Presolve;
 

@@ -41,6 +41,13 @@
 ///                              models re-verify exactly, and the ladder's
 ///                              base-core classification matches a clean
 ///                              run (catches --inject=bad-core)
+///   cache-consistency          solving through staubd's cross-query
+///                              blast/clause caches (primed with a
+///                              near-duplicate sibling, then replayed
+///                              half-cold and warm) retraces the exact
+///                              StaubPath of a cold fresh-manager run,
+///                              and cached sat models re-verify (catches
+///                              --inject=bad-digest)
 ///
 /// Every oracle treats Unknown as vacuous, so time budgets shrink coverage
 /// but never cause false alarms. The BugInjection hook deliberately breaks
@@ -89,6 +96,11 @@ enum class BugInjection : uint8_t {
   /// verdicts sound, so escalation-equivalence must catch the flipped
   /// BaseCoreHasGuards claim against a clean run.
   BadCore,
+  /// Make the cross-query cache digest ignore constant payloads
+  /// (SharedSolveCaches::InjectBadDigest), so near-duplicate queries
+  /// collide and the shards serve CNF templates blasted from a different
+  /// constraint. cache-consistency must fire.
+  BadDigest,
 };
 
 /// One fuzz input: a constraint plus whatever ground truth the generator

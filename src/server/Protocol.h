@@ -1,0 +1,103 @@
+//===- server/Protocol.h - staubd wire protocol -----------------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited framed protocol staubd speaks over a Unix or
+/// 127.0.0.1 TCP socket (full grammar in docs/SERVER.md). A frame is one
+/// header line of space-separated tokens; the `query` verb is followed by
+/// a length-prefixed SMT-LIB payload plus a terminating newline:
+///
+///   query <id> <nbytes> [timeout=<sec>]\n<nbytes of SMT-LIB>\n
+///   ping\n
+///   stats\n
+///   shutdown\n
+///
+/// Responses are single lines:
+///
+///   result <id> <sat|unsat|unknown> key=value...\n
+///   error <id|-> <code> <message...>\n
+///   pong\n  /  stats key=value...\n  /  bye\n
+///
+/// Framing is deliberately resynchronizable: an unknown verb or a
+/// malformed header only poisons that line (the server answers `error`
+/// and reads on), while an oversized or truncated payload poisons the
+/// whole stream and closes the connection — after a partial payload
+/// there is no trustworthy frame boundary left.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SERVER_PROTOCOL_H
+#define STAUB_SERVER_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace staub {
+namespace server {
+
+/// Upper bound on one query payload; a `query` header advertising more
+/// is answered with `error ... oversized-frame` and the connection is
+/// closed (the payload is never read).
+constexpr size_t DefaultMaxFrameBytes = 4u << 20;
+
+/// One parsed frame. For `query`, Payload holds the SMT-LIB text.
+struct Frame {
+  std::string Verb;
+  std::vector<std::string> Args; ///< Header tokens after the verb.
+  std::string Payload;
+};
+
+/// Outcome of reading one frame off a connection.
+enum class ReadStatus {
+  Ok,        ///< Frame is valid.
+  Eof,       ///< Clean end of stream between frames.
+  BadHeader, ///< Malformed header line; connection can resync.
+  Oversized, ///< Payload larger than the limit; close the connection.
+  Truncated, ///< Stream ended inside a payload; close the connection.
+  IoError,   ///< read(2) failed.
+};
+
+/// Buffered frame reader over a socket fd. Not thread-safe; one per
+/// connection.
+class FrameReader {
+public:
+  explicit FrameReader(int Fd, size_t MaxFrameBytes = DefaultMaxFrameBytes)
+      : Fd(Fd), MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Reads the next frame. On BadHeader the offending line is consumed,
+  /// so the caller may answer `error` and keep reading.
+  ReadStatus next(Frame &Out, std::string &Error);
+
+private:
+  bool readLine(std::string &Line, bool &SawEof);
+  bool readExact(std::string &Out, size_t Bytes);
+
+  int Fd;
+  size_t MaxFrameBytes;
+  std::string Buffer;
+};
+
+/// Splits a header line into whitespace-separated tokens.
+std::vector<std::string> splitTokens(const std::string &Line);
+
+/// Writes all of \p Data to \p Fd (retrying short writes; EPIPE-safe in
+/// the sense that it just reports failure). Returns false on error.
+bool writeAll(int Fd, const std::string &Data);
+
+/// Client-side connect helpers. Return -1 and set \p Error on failure.
+int connectUnix(const std::string &Path, std::string *Error);
+int connectTcp(uint16_t Port, std::string *Error);
+
+/// Formats a `query` frame for sending.
+std::string formatQuery(const std::string &Id, const std::string &SmtLib,
+                        double TimeoutSeconds = 0.0);
+
+} // namespace server
+} // namespace staub
+
+#endif // STAUB_SERVER_PROTOCOL_H

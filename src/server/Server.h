@@ -1,0 +1,179 @@
+//===- server/Server.h - staubd: persistent arbitrage service ---*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived arbitrage service behind `staubd` (ROADMAP item 1).
+/// A StaubServer listens on a Unix or loopback-TCP socket, accepts
+/// framed batches of SMT-LIB queries from concurrent clients
+/// (server/Protocol.h), schedules them over a worker pool with per-query
+/// timeouts and cooperative cancellation, and answers with verdicts plus
+/// per-query stats. What makes the marginal query cheap is the pair of
+/// sharded cross-query caches (solver/CrossCache.h) shared by all
+/// workers: each worker parses into its own TermManager (no global
+/// interning lock) and meets the others only at the (digest, width)
+/// cache shards.
+///
+/// evaluateQuery() — one query through parse + runStaub + fallback — is
+/// exposed directly so bench_server can replay a VC stream against the
+/// caches without socket overhead, and so tests can pin cache semantics
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SERVER_SERVER_H
+#define STAUB_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "solver/CrossCache.h"
+#include "staub/Staub.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace staub {
+namespace server {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Unix socket path; used when nonempty (and unlinked on shutdown).
+  std::string SocketPath;
+  /// Loopback TCP port when SocketPath is empty; 0 binds an ephemeral
+  /// port (readable via StaubServer::tcpPort() after start()).
+  uint16_t TcpPort = 0;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Workers = 0;
+  /// Cache budgets (bytes).
+  size_t BlastCacheBytes = SharedSolveCaches::DefaultBlastBytes;
+  size_t ClauseStoreBytes = SharedSolveCaches::DefaultClauseBytes;
+  /// Per-query solve budget when the client does not send timeout=.
+  double DefaultTimeoutSeconds = 5.0;
+  /// Frame size limit (server/Protocol.h).
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+};
+
+/// Result of one query evaluation.
+struct QueryResult {
+  bool Ok = false;            ///< False: parse/translation-level error.
+  std::string Error;          ///< Set when !Ok.
+  SolveStatus Status = SolveStatus::Unknown;
+  std::string Path;           ///< StaubPath label, or "fallback".
+  unsigned Width = 0;         ///< Chosen translation width (0 if none).
+  double Seconds = 0.0;       ///< Wall clock for the whole evaluation.
+  uint64_t CrossBlastHits = 0;
+  uint64_t CrossBlastMisses = 0;
+  uint64_t CrossClausesReused = 0;
+};
+
+/// Runs one SMT-LIB query through the full arbitrage pipeline against
+/// \p Caches (nullable: null solves cold with no sharing): fresh
+/// TermManager, parse, runStaub with the MiniSMT backend, and a plain
+/// fallback solve of the original constraint when the STAUB lane is not
+/// decisive. \p Cancel (nullable) is polled by the solver.
+QueryResult evaluateQuery(const std::string &SmtLib, SharedSolveCaches *Caches,
+                          double TimeoutSeconds,
+                          const CancellationToken *Cancel = nullptr);
+
+/// Aggregate server statistics (the `stats` verb payload).
+struct ServerStats {
+  uint64_t QueriesServed = 0;
+  uint64_t QueriesFailed = 0;
+  uint64_t ConnectionsAccepted = 0;
+  CacheStats Blast;
+  CacheStats Clauses;
+};
+
+/// The staubd server. start() spawns the accept thread, per-connection
+/// reader threads, and the worker pool; requestShutdown() stops
+/// accepting, drains in-flight queries (responses are still written),
+/// and then tears the connections down. Thread-safe.
+class StaubServer {
+public:
+  explicit StaubServer(const ServerOptions &Options);
+  ~StaubServer();
+
+  StaubServer(const StaubServer &) = delete;
+  StaubServer &operator=(const StaubServer &) = delete;
+
+  /// Binds and starts serving. Returns false (with \p Error) on failure.
+  bool start(std::string *Error);
+
+  /// Initiates graceful shutdown: stop accepting, finish queued and
+  /// in-flight queries, flush responses, close connections. Idempotent.
+  void requestShutdown();
+
+  /// Blocks until all threads have exited (call after requestShutdown(),
+  /// or rely on the destructor).
+  void awaitShutdown();
+
+  /// Resolved TCP port (meaningful for TCP servers after start()).
+  uint16_t tcpPort() const { return BoundPort; }
+
+  /// Counter snapshot.
+  ServerStats stats() const;
+
+  /// The shared caches (for tests and in-process bench drivers).
+  SharedSolveCaches &caches() { return Caches; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::thread Reader;
+    std::mutex WriteMutex;
+    /// Queries parsed off this connection but not yet answered; the
+    /// connection may only be closed once this drops to zero.
+    unsigned Pending = 0;
+  };
+
+  struct Job {
+    std::shared_ptr<Connection> Conn;
+    std::string Id;
+    std::string SmtLib;
+    double TimeoutSeconds = 0.0;
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void workerLoop();
+  void enqueue(Job J);
+  bool respond(Connection &Conn, const std::string &Line);
+  void closeListener();
+
+  ServerOptions Options;
+  SharedSolveCaches Caches;
+  /// Atomic: acceptLoop() reads it while requestShutdown() (any thread)
+  /// swaps it to -1 in closeListener().
+  std::atomic<int> ListenFd{-1};
+  uint16_t BoundPort = 0;
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable QueueCv;
+  std::condition_variable DrainCv;
+  std::deque<Job> Queue;
+  unsigned ActiveJobs = 0;
+  bool ShuttingDown = false;
+  bool Started = false;
+  std::vector<std::shared_ptr<Connection>> Connections;
+  CancellationToken ShutdownCancel; ///< Fired only by the destructor path
+                                    ///< as a last-resort unblocking aid.
+
+  std::atomic<uint64_t> QueriesServed{0};
+  std::atomic<uint64_t> QueriesFailed{0};
+  std::atomic<uint64_t> ConnectionsAccepted{0};
+};
+
+} // namespace server
+} // namespace staub
+
+#endif // STAUB_SERVER_SERVER_H

@@ -1,0 +1,129 @@
+//===- smtlib/Digest.cpp - Canonical structural term digests --------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Digest.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace staub;
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t combine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// Digest of the node itself, children excluded.
+uint64_t localDigest(const TermManager &Manager, Term T,
+                     DigestComputer::Mode Mode) {
+  Kind K = Manager.kind(T);
+  Sort S = Manager.sort(T);
+  uint64_t H = combine(0x5374617562444447ULL, // "StaubDDG"
+                       static_cast<uint64_t>(K));
+  H = combine(H, static_cast<uint64_t>(S.hash()));
+
+  // For leaves, ParamA/ParamB are payload indexes into the manager's
+  // side tables — interning-order-dependent, so mixing them would tie
+  // the digest to one TermManager's allocation history (and leak the
+  // constant's identity past IgnoreConstants). The payload itself is
+  // hashed canonically below; only operator parameters (extract bounds,
+  // extension widths) go in raw.
+  switch (K) {
+  case Kind::Variable:
+  case Kind::ConstBool:
+  case Kind::ConstInt:
+  case Kind::ConstReal:
+  case Kind::ConstBitVec:
+  case Kind::ConstFp:
+    break;
+  default:
+    H = combine(H, (static_cast<uint64_t>(Manager.paramA(T)) << 32) |
+                       Manager.paramB(T));
+    break;
+  }
+
+  switch (K) {
+  case Kind::Variable:
+    H = combine(H, std::hash<std::string>{}(Manager.variableName(T)));
+    break;
+  case Kind::ConstBool:
+    // Bool constants stay exact even under IgnoreConstants: they fold
+    // structurally and carry no payload worth perturbing.
+    H = combine(H, Manager.boolValue(T) ? 2 : 1);
+    break;
+  case Kind::ConstInt:
+    if (Mode == DigestComputer::Mode::Exact)
+      H = combine(H, static_cast<uint64_t>(Manager.intValue(T).hash()));
+    break;
+  case Kind::ConstReal:
+    if (Mode == DigestComputer::Mode::Exact)
+      H = combine(H, static_cast<uint64_t>(Manager.realValue(T).hash()));
+    break;
+  case Kind::ConstBitVec:
+    if (Mode == DigestComputer::Mode::Exact)
+      H = combine(H, static_cast<uint64_t>(Manager.bitVecValue(T).hash()));
+    break;
+  case Kind::ConstFp:
+    if (Mode == DigestComputer::Mode::Exact)
+      H = combine(H, static_cast<uint64_t>(Manager.fpValue(T).hash()));
+    break;
+  default:
+    break;
+  }
+  return H;
+}
+
+} // namespace
+
+TermDigest DigestComputer::digest(Term T) {
+  auto Found = Memo.find(T.id());
+  if (Found != Memo.end())
+    return Found->second;
+
+  // Iterative post-order: a frame is (term, next child to visit).
+  std::vector<std::pair<Term, unsigned>> Stack;
+  Stack.emplace_back(T, 0);
+  while (!Stack.empty()) {
+    auto &[Node, NextChild] = Stack.back();
+    if (Memo.count(Node.id())) {
+      Stack.pop_back();
+      continue;
+    }
+    unsigned NumChildren = Manager.numChildren(Node);
+    if (NextChild < NumChildren) {
+      Term Child = Manager.child(Node, NextChild++);
+      if (!Memo.count(Child.id()))
+        Stack.emplace_back(Child, 0);
+      continue;
+    }
+
+    TermDigest D;
+    D.Hash = localDigest(Manager, Node, TheMode);
+    Sort S = Manager.sort(Node);
+    if (S.isBitVec())
+      D.MaxBitVecWidth = S.bitVecWidth();
+    for (unsigned I = 0; I < NumChildren; ++I) {
+      const TermDigest &ChildDigest = Memo.at(Manager.child(Node, I).id());
+      D.Hash = combine(D.Hash, ChildDigest.Hash);
+      if (ChildDigest.MaxBitVecWidth > D.MaxBitVecWidth)
+        D.MaxBitVecWidth = ChildDigest.MaxBitVecWidth;
+    }
+    Memo.emplace(Node.id(), D);
+    Stack.pop_back();
+  }
+  return Memo.at(T.id());
+}

@@ -1,0 +1,75 @@
+//===- smtlib/Digest.h - Canonical structural term digests ------*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical 64-bit structural digests over the hash-consed term DAG.
+/// Unlike Term handles (which are interning indices private to one
+/// TermManager), a digest depends only on the term's *structure*: kind,
+/// sort, operator parameters, constant payloads, variable names, and the
+/// digests of the children in order. Two terms built in different
+/// managers — e.g. per-worker managers parsing the same SMT-LIB text —
+/// therefore produce the same digest, which is what lets staubd's sharded
+/// cross-query caches (solver/CrossCache.h) share CNF between workers
+/// without a global interning lock.
+///
+/// Stability guarantees (documented in docs/SERVER.md):
+///  - same structure => same digest, across TermManager instances within
+///    one process;
+///  - digests are NOT stable across processes or builds (they hash
+///    std::string/BigInt values with in-process hash functions), so they
+///    must never be persisted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SMTLIB_DIGEST_H
+#define STAUB_SMTLIB_DIGEST_H
+
+#include "smtlib/Term.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace staub {
+
+/// Digest of one term plus the widest bitvector sort occurring anywhere
+/// in it (0 when no bitvector subterm exists). The width rides along so
+/// cache keys can be the paper-friendly (digest, width) pair without a
+/// second DAG walk.
+struct TermDigest {
+  uint64_t Hash = 0;
+  unsigned MaxBitVecWidth = 0;
+};
+
+/// Memoizing digest computer over one TermManager's DAG. Not thread-safe;
+/// make one per worker (the digests agree anyway).
+class DigestComputer {
+public:
+  enum class Mode {
+    Exact,           ///< Full structural digest.
+    IgnoreConstants, ///< Fault injection (--inject=bad-digest): constant
+                     ///< payloads are left out of the digest, so terms
+                     ///< differing only in a constant collide. The
+                     ///< cache-consistency fuzz oracle must catch the
+                     ///< resulting cross-query cache corruption.
+  };
+
+  explicit DigestComputer(const TermManager &Manager, Mode M = Mode::Exact)
+      : Manager(Manager), TheMode(M) {}
+
+  /// Digest of \p T (iterative post-order walk; memoized per node).
+  TermDigest digest(Term T);
+
+  Mode mode() const { return TheMode; }
+
+private:
+  const TermManager &Manager;
+  Mode TheMode;
+  std::unordered_map<uint32_t, TermDigest> Memo;
+};
+
+} // namespace staub
+
+#endif // STAUB_SMTLIB_DIGEST_H

@@ -1,0 +1,32 @@
+//===- solver/CrossCache.cpp - Sharded cross-query solver caches ----------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CrossCache.h"
+
+using namespace staub;
+
+namespace {
+
+size_t clauseVectorBytes(const std::vector<std::vector<Lit>> &Clauses) {
+  size_t Total = Clauses.capacity() * sizeof(std::vector<Lit>);
+  for (const std::vector<Lit> &C : Clauses)
+    Total += C.capacity() * sizeof(Lit);
+  return Total;
+}
+
+} // namespace
+
+size_t BlastTemplate::bytes() const {
+  size_t Total = sizeof(*this) + clauseVectorBytes(Clauses);
+  Total += Vars.capacity() * sizeof(TemplateVarBinding);
+  for (const TemplateVarBinding &B : Vars)
+    Total += B.Name.capacity() + B.Bits.capacity() * sizeof(Lit);
+  return Total;
+}
+
+size_t ClauseTemplate::bytes() const {
+  return sizeof(*this) + clauseVectorBytes(Clauses);
+}

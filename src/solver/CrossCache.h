@@ -1,0 +1,251 @@
+//===- solver/CrossCache.h - Sharded cross-query solver caches --*- C++ -*-===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded cross-query caches behind staubd (ROADMAP item 1): a
+/// (digest, width)-keyed blast cache of relocatable CNF templates and a
+/// matching learnt-clause store. Keys are canonical structural digests
+/// (smtlib/Digest.h), so per-worker TermManager instances share entries
+/// without a global interning lock — each worker blasts against its own
+/// manager and only the CNF (pure literal vectors) crosses threads.
+///
+/// A BlastTemplate is the complete CNF of ONE assertion, blasted in a
+/// private scratch solver whose literal space starts at variable 1. To
+/// apply it, BitBlaster::assertTrueShared() offsets every literal by the
+/// destination solver's current variable count and re-adds the clauses —
+/// the same splice path runs on a cold miss (right after recording), so
+/// hits and misses produce byte-identical CNF. Variable identity across
+/// templates is restored by name: the template remembers each SMT
+/// variable's literal vector, and the splicer either installs those
+/// literals as the variable's encoding or, when the variable is already
+/// encoded, adds per-bit biconditional bridge clauses.
+///
+/// The ClauseStore holds clauses learnt by a bounded "probe" solve run on
+/// the scratch solver of a single assertion. Because the probe sees only
+/// that assertion's CNF (plus its asserted root), every learnt clause is
+/// implied by the assertion alone and is therefore sound to splice into
+/// ANY query that contains the assertion — unlike learnts from a full
+/// query solve, which are only implied by the whole conjunction.
+///
+/// Both caches use the same sharded 2Q-lite replacement: a probationary
+/// FIFO (A1) and a protected LRU (Am); entries promote to Am on their
+/// first hit and eviction drains A1 before touching Am, so one-shot
+/// queries cannot flush the hot working set. Memory is bounded in bytes
+/// per shard; hit/miss/insert/evict counters are process-wide atomics
+/// surfaced through StaubOutcome, the server's `stats` verb, and
+/// `staubd --stats`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAUB_SOLVER_CROSSCACHE_H
+#define STAUB_SOLVER_CROSSCACHE_H
+
+#include "solver/Sat.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace staub {
+
+/// Cache key: canonical digest of the assertion plus the widest bitvector
+/// width occurring in it (so re-translations of the same Int constraint
+/// at different widths never collide).
+struct BlastKey {
+  uint64_t Digest = 0;
+  unsigned Width = 0;
+  bool operator==(const BlastKey &RHS) const = default;
+};
+
+struct BlastKeyHash {
+  size_t operator()(const BlastKey &K) const {
+    uint64_t X = K.Digest ^ (static_cast<uint64_t>(K.Width) * 0x9e3779b97f4a7c15ULL);
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(X ^ (X >> 29));
+  }
+};
+
+/// One SMT variable's literals inside a template's local literal space.
+/// Width 0 means a Bool variable with a single literal.
+struct TemplateVarBinding {
+  std::string Name;
+  unsigned Width = 0;
+  std::vector<Lit> Bits;
+};
+
+/// Relocatable CNF of one blasted assertion (local variables 1..NumVars).
+struct BlastTemplate {
+  unsigned NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+  Lit Root;
+  std::vector<TemplateVarBinding> Vars;
+  size_t bytes() const;
+};
+
+/// Probe-solve learnt clauses in the SAME local literal space as the
+/// blast template they were learnt from.
+struct ClauseTemplate {
+  std::vector<std::vector<Lit>> Clauses;
+  size_t bytes() const;
+};
+
+/// Counter snapshot for one cache.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  uint64_t Entries = 0;
+  uint64_t Bytes = 0;
+  uint64_t CapacityBytes = 0;
+};
+
+/// Sharded (digest, width) -> shared_ptr<const Entry> cache with 2Q-lite
+/// replacement. Thread-safe; lookups return shared ownership so an entry
+/// stays alive while a worker splices it even if it is evicted meanwhile.
+template <typename EntryT> class ShardedTemplateCache {
+public:
+  explicit ShardedTemplateCache(size_t CapacityBytes)
+      : Capacity(CapacityBytes) {}
+
+  std::shared_ptr<const EntryT> lookup(const BlastKey &Key) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto Found = S.Map.find(Key);
+    if (Found == S.Map.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Node &N = Found->second;
+    if (N.Protected) {
+      S.Am.splice(S.Am.begin(), S.Am, N.Where);
+    } else {
+      // First hit: promote from probation to the protected LRU.
+      S.Am.splice(S.Am.begin(), S.A1, N.Where);
+      N.Protected = true;
+    }
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return N.Entry;
+  }
+
+  void insert(const BlastKey &Key, std::shared_ptr<const EntryT> Entry) {
+    size_t EntryBytes = sizeof(Node) + (Entry ? Entry->bytes() : 0);
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto Found = S.Map.find(Key);
+    if (Found != S.Map.end()) {
+      // Concurrent worker won the race; keep the incumbent (readers may
+      // already hold it) and drop ours.
+      return;
+    }
+    S.A1.push_front(Key);
+    Node N;
+    N.Entry = std::move(Entry);
+    N.Bytes = EntryBytes;
+    N.Protected = false;
+    N.Where = S.A1.begin();
+    S.Map.emplace(Key, std::move(N));
+    S.Bytes += EntryBytes;
+    Insertions.fetch_add(1, std::memory_order_relaxed);
+    evictLocked(S);
+  }
+
+  CacheStats stats() const {
+    CacheStats Result;
+    Result.Hits = Hits.load(std::memory_order_relaxed);
+    Result.Misses = Misses.load(std::memory_order_relaxed);
+    Result.Insertions = Insertions.load(std::memory_order_relaxed);
+    Result.Evictions = Evictions.load(std::memory_order_relaxed);
+    Result.CapacityBytes = Capacity;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      Result.Entries += S.Map.size();
+      Result.Bytes += S.Bytes;
+    }
+    return Result;
+  }
+
+private:
+  static constexpr size_t NumShards = 16;
+
+  struct Node {
+    std::shared_ptr<const EntryT> Entry;
+    size_t Bytes = 0;
+    bool Protected = false;
+    std::list<BlastKey>::iterator Where;
+  };
+
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<BlastKey, Node, BlastKeyHash> Map;
+    std::list<BlastKey> A1; ///< Probationary FIFO (front = newest).
+    std::list<BlastKey> Am; ///< Protected LRU (front = most recent).
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const BlastKey &Key) {
+    return Shards[BlastKeyHash{}(Key) % NumShards];
+  }
+
+  void evictLocked(Shard &S) {
+    size_t PerShard = Capacity / NumShards;
+    while (S.Bytes > PerShard && !(S.A1.empty() && S.Am.empty())) {
+      std::list<BlastKey> &Victims = S.A1.empty() ? S.Am : S.A1;
+      BlastKey Victim = Victims.back();
+      Victims.pop_back();
+      auto Found = S.Map.find(Victim);
+      S.Bytes -= Found->second.Bytes;
+      S.Map.erase(Found);
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  size_t Capacity;
+  Shard Shards[NumShards];
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Insertions{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+using BlastCache = ShardedTemplateCache<BlastTemplate>;
+using ClauseStore = ShardedTemplateCache<ClauseTemplate>;
+
+/// Everything a worker needs to participate in cross-query reuse. One
+/// instance lives in the server (or bench driver) and outlives all solve
+/// calls that reference it through SolverOptions::Shared.
+struct SharedSolveCaches {
+  static constexpr size_t DefaultBlastBytes = 64u << 20;
+  static constexpr size_t DefaultClauseBytes = 16u << 20;
+
+  explicit SharedSolveCaches(size_t BlastBytes = DefaultBlastBytes,
+                             size_t ClauseBytes = DefaultClauseBytes)
+      : Blast(BlastBytes), Clauses(ClauseBytes) {}
+
+  BlastCache Blast;
+  ClauseStore Clauses;
+
+  /// Conflict budget for the probe solve that seeds the clause store on a
+  /// cold blast (0 disables probing).
+  uint64_t ProbeConflicts = 200;
+  /// Learnt-clause export caps for one probe.
+  size_t MaxStoredClauses = 256;
+  size_t MaxStoredClauseLits = 8;
+
+  /// Fault injection (--inject=bad-digest): digest constants by sort
+  /// only, so near-duplicate assertions collide and the caches serve the
+  /// wrong CNF. The cache-consistency fuzz oracle must catch this.
+  bool InjectBadDigest = false;
+};
+
+} // namespace staub
+
+#endif // STAUB_SOLVER_CROSSCACHE_H

@@ -27,12 +27,18 @@ public:
   TransformResult run(const std::vector<Term> &Assertions) {
     TransformResult Result;
     for (Term Assertion : Assertions) {
+      size_t GuardsBefore = Guards.size();
       Term Translated = translate(Assertion);
       if (!Failed.empty()) {
         Result.FailReason = Failed;
         return Result;
       }
       Result.Assertions.push_back(Translated);
+      // Guards emitted while translating this assertion belong to its
+      // cone (shared subterms report to their first translator).
+      for (size_t J = GuardsBefore; J < Guards.size(); ++J)
+        Result.GuardOwner.push_back(
+            static_cast<uint32_t>(Result.Assertions.size() - 1));
     }
     // Guards go after the translated assertions (order is irrelevant for
     // satisfiability; this matches the paper's presentation in Fig. 1b).

@@ -71,7 +71,7 @@ TEST(EscalationTest, GuardOnlyCoreClimbsToVerifiedSat) {
   EXPECT_EQ(Outcome.Path, StaubPath::EscalatedSat);
   EXPECT_GE(Outcome.EscalationSteps, 1u);
   EXPECT_EQ(Outcome.BaseCoreHasGuards, 1);
-  EXPECT_GT(Outcome.BlastCacheHits, 0u);
+  EXPECT_GT(Outcome.SessionBlastCacheHits, 0u);
   // The verified model satisfies the original unbounded constraint.
   Term Original = M.mkAnd(Assertions);
   EXPECT_TRUE(evaluatesToTrue(M, Original, Outcome.VerifiedModel));
@@ -208,7 +208,7 @@ TEST(EscalationTest, SuiteConvertsRevertsToEscalatedSat) {
     StaubOutcome Escalated = runStaub(M, C.Assertions, *Backend, Ladder);
     if (Escalated.Path == StaubPath::EscalatedSat) {
       ++Converted;
-      CacheHits += Escalated.BlastCacheHits;
+      CacheHits += Escalated.SessionBlastCacheHits;
       if (C.Expected) {
         EXPECT_EQ(*C.Expected, SolveStatus::Sat);
       }

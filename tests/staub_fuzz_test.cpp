@@ -261,6 +261,60 @@ TEST(FuzzEngineTest, InjectedBadCoreIsCaughtByEscalationEquivalence) {
   EXPECT_EQ(Caught->Property, "escalation-equivalence");
 }
 
+TEST(FuzzEngineTest, InjectedBadDigestIsCaughtByCacheConsistency) {
+  // bad-digest makes the cross-query cache key ignore constant payloads,
+  // so the oracle's box-shifted priming sibling (x in [65, 84] instead
+  // of [1, 20]) collides with this instance's x groups and the cache
+  // serves the shifted CNF. Every width-17 model then has x >= 65,
+  // verification against the original (x <= 20) fails, and the cached
+  // run lands off VerifiedSat where the cold fresh-manager run proves
+  // it — exactly the path divergence cache-consistency pins. The wide
+  // spectator w pins the inferred width so the sibling's templates land
+  // on the same BlastKey width as the instance's; the y+z anchor (no x,
+  // unshifted in the sibling) defeats the presolver's static witness in
+  // both, so both actually reach the cache.
+  TermManager M;
+  Term X = M.mkVariable("bd_x", Sort::integer());
+  Term Y = M.mkVariable("bd_y", Sort::integer());
+  Term Z = M.mkVariable("bd_z", Sort::integer());
+  Term W = M.mkVariable("bd_w", Sort::integer());
+  auto IntC = [&](int64_t V) { return M.mkIntConst(BigInt(V)); };
+  FuzzInstance Instance;
+  Instance.Name = "bad-digest-pin";
+  // The shiftable bound first, so the sibling drifts exactly x's box.
+  Instance.Assertions.push_back(M.mkCompare(Kind::Ge, X, IntC(1)));
+  Instance.Assertions.push_back(M.mkCompare(Kind::Le, X, IntC(20)));
+  for (Term V : {Y, Z}) {
+    Instance.Assertions.push_back(M.mkCompare(Kind::Ge, V, IntC(0)));
+    Instance.Assertions.push_back(M.mkCompare(Kind::Le, V, IntC(20)));
+  }
+  Instance.Assertions.push_back(M.mkCompare(Kind::Ge, W, IntC(0)));
+  Instance.Assertions.push_back(M.mkCompare(Kind::Le, W, IntC(60000)));
+  Instance.Assertions.push_back(
+      M.mkCompare(Kind::Ge, M.mkAdd(std::vector<Term>{Y, Z}), IntC(5)));
+  Instance.Assertions.push_back(M.mkCompare(
+      Kind::Le,
+      M.mkAdd(std::vector<Term>{M.mkMul(std::vector<Term>{X, Y}), Z}),
+      IntC(380)));
+  Instance.Expected = SolveStatus::Sat;
+
+  auto Backend = createMiniSmtSolver();
+  OracleOptions Options;
+  Options.SolveTimeoutSeconds = 5.0;
+  std::optional<Violation> Clean = runOracleByName("cache-consistency", M,
+                                                   Instance, *Backend,
+                                                   Options);
+  EXPECT_FALSE(Clean.has_value()) << Clean->Detail;
+
+  Options.Inject = BugInjection::BadDigest;
+  std::optional<Violation> Caught = runOracleByName("cache-consistency", M,
+                                                    Instance, *Backend,
+                                                    Options);
+  ASSERT_TRUE(Caught.has_value())
+      << "oracle failed to detect the injected digest collision";
+  EXPECT_EQ(Caught->Property, "cache-consistency");
+}
+
 TEST(FuzzEngineTest, CleanCampaignFindsNothing) {
   // Seed/range picked so every instance solves far inside the budget; a
   // timed-out oracle is a skip, not a pass, so fast instances keep this

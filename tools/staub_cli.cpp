@@ -285,10 +285,15 @@ int main(int Argc, char **Argv) {
                  Outcome.Presolve.WidthBitsSaved);
     std::fprintf(stderr,
                  "; escalation steps=%u clauses_reused=%llu "
-                 "blast_cache_hits=%llu\n",
+                 "session_blast_cache_hits=%llu\n",
                  Outcome.EscalationSteps,
                  static_cast<unsigned long long>(Outcome.ClausesReused),
-                 static_cast<unsigned long long>(Outcome.BlastCacheHits));
+                 static_cast<unsigned long long>(Outcome.SessionBlastCacheHits));
+    std::fprintf(stderr,
+                 "; cross-cache hits=%llu misses=%llu clauses_spliced=%llu\n",
+                 static_cast<unsigned long long>(Outcome.CrossBlastCacheHits),
+                 static_cast<unsigned long long>(Outcome.CrossBlastCacheMisses),
+                 static_cast<unsigned long long>(Outcome.CrossClausesReused));
   }
   return 0;
 }

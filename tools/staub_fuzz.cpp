@@ -51,7 +51,7 @@ void printUsage() {
       "usage: staub-fuzz [--seed=N] [--iters=N] [--time-budget=S] [--jobs=N]\n"
       "                  [--theory=int|real|fp] [--solve-timeout=S] [--use-z3]\n"
       "                  [--no-portfolio]\n"
-      "                  [--inject=drop-guards|bad-contract|bad-core]\n"
+      "                  [--inject=drop-guards|bad-contract|bad-core|bad-digest]\n"
       "                  [--corpus=DIR] [--max-violations=N]\n");
 }
 
@@ -104,6 +104,8 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Options) {
         Options.Inject = BugInjection::BadContract;
       } else if (Bug == "bad-core") {
         Options.Inject = BugInjection::BadCore;
+      } else if (Bug == "bad-digest") {
+        Options.Inject = BugInjection::BadDigest;
       } else {
         std::fprintf(stderr, "error: unknown injection '%s'\n", Bug.c_str());
         return false;
@@ -145,6 +147,8 @@ int main(int Argc, char **Argv) {
                   ? " INJECT=bad-contract"
               : Options.Inject == BugInjection::BadCore
                   ? " INJECT=bad-core"
+              : Options.Inject == BugInjection::BadDigest
+                  ? " INJECT=bad-digest"
                   : "");
 
   FuzzReport Report = runFuzzer(Options);
