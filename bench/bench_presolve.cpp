@@ -17,6 +17,15 @@
 ///     inferred Int width with the presolver's contracted ranges feeding
 ///     bound inference vs. --no-presolve, plus the total bits saved.
 ///
+///  3. Relational deltas: on the correlated suite (benchgen
+///     generateCorrelatedSuite — difference cycles, chains, and band
+///     systems whose facts only the zone/octagon layer can use), the
+///     presolve-decided rate, guard-elision count, and mean inferred
+///     width of the full relational pipeline vs. --no-relational. The
+///     acceptance gate (exit code) requires the relational column to
+///     strictly win all three while agreeing with intervals-only on
+///     every decisive verdict.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -108,7 +117,76 @@ int main(int Argc, char **Argv) {
     Out.addRaw("lia_width_tightening", Axis.str());
   }
 
+  // Axis 3: relational (zone/octagon) vs intervals-only on the
+  // correlated suite.
+  bool RelationalPass = true;
+  {
+    std::vector<EvalConfig> Configs(2);
+    Configs[0].Label = "intervals-only";
+    Configs[0].Staub.Relational = false;
+    Configs[1].Label = "relational";
+
+    TermManager M;
+    auto Suite = generateCorrelatedSuite(M, benchConfig());
+    auto All = evaluateSuiteConfigsParallel(M, Suite, *Backend, Timeout,
+                                            Configs, Jobs);
+    const std::vector<EvalRecord> &NoRel = All[0];
+    const std::vector<EvalRecord> &Rel = All[1];
+
+    unsigned DecidedNoRel = 0, DecidedRel = 0;
+    unsigned ElidedNoRel = 0, ElidedRel = 0, RelOnly = 0, ZoneFacts = 0;
+    // Width means only over instances both configs actually translated
+    // (a presolve-decided case has no width at all).
+    unsigned long WSumNoRel = 0, WSumRel = 0;
+    unsigned Paired = 0;
+    bool Agree = true;
+    for (size_t I = 0; I < Rel.size(); ++I) {
+      DecidedNoRel += NoRel[I].presolveDecided();
+      DecidedRel += Rel[I].presolveDecided();
+      ElidedNoRel += NoRel[I].GuardsElided;
+      ElidedRel += Rel[I].GuardsElided;
+      RelOnly += Rel[I].RelationalGuardsElided;
+      ZoneFacts += Rel[I].ZoneFactsHarvested;
+      if (NoRel[I].ChosenWidth && Rel[I].ChosenWidth) {
+        WSumNoRel += NoRel[I].ChosenWidth;
+        WSumRel += Rel[I].ChosenWidth;
+        ++Paired;
+      }
+      if (NoRel[I].verified() && Rel[I].verified() &&
+          (NoRel[I].Path == StaubPath::PresolvedUnsat) !=
+              (Rel[I].Path == StaubPath::PresolvedUnsat))
+        Agree = false;
+    }
+    double WNoRel = Paired ? double(WSumNoRel) / Paired : 0.0;
+    double WRel = Paired ? double(WSumRel) / Paired : 0.0;
+    std::printf("correlated suite: presolve-decided %u/%zu relational vs "
+                "%u/%zu intervals-only; guards elided %u vs %u "
+                "(%u relational-only); mean width %.2f vs %.2f over %u "
+                "paired instances; %u zone facts\n",
+                DecidedRel, Rel.size(), DecidedNoRel, NoRel.size(),
+                ElidedRel, ElidedNoRel, RelOnly, WRel, WNoRel, Paired,
+                ZoneFacts);
+    RelationalPass = DecidedRel > DecidedNoRel && ElidedRel > ElidedNoRel &&
+                     Paired > 0 && WRel < WNoRel && Agree;
+    std::printf("  relational strictly beats intervals-only (decided, "
+                "elision, width) and verdicts agree: %s\n\n",
+                RelationalPass ? "PASS" : "FAIL");
+    JsonObject Axis;
+    Axis.add("decided_relational", DecidedRel)
+        .add("decided_intervals", DecidedNoRel)
+        .add("guards_elided_relational", ElidedRel)
+        .add("guards_elided_intervals", ElidedNoRel)
+        .add("relational_only_elisions", RelOnly)
+        .add("mean_width_relational", WRel)
+        .add("mean_width_intervals", WNoRel)
+        .add("paired_width_instances", Paired)
+        .add("zone_facts", ZoneFacts)
+        .add("verdicts_agree", Agree)
+        .add("pass", RelationalPass);
+    Out.addRaw("correlated_suite", Axis.str());
+  }
+
   if (!JsonPath.empty() && writeJsonFile(JsonPath, Out.str()))
     std::printf("wrote %s\n", JsonPath.c_str());
-  return 0;
+  return RelationalPass ? 0 : 1;
 }

@@ -1,0 +1,113 @@
+//===- analysis/Dbm.cpp - Difference-bound matrix core --------------------===//
+//
+// Part of the STAUB reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dbm.h"
+
+using namespace staub;
+using namespace staub::analysis;
+
+Dbm::Dbm(unsigned NumNodes)
+    : N(NumNodes), Weights(size_t(NumNodes) * NumNodes),
+      Sources(size_t(NumNodes) * NumNodes) {
+  for (unsigned I = 0; I < N; ++I)
+    Weights[size_t(I) * N + I] = Rational(0);
+}
+
+void Dbm::tighten(unsigned I, unsigned J, const Rational &C,
+                  const std::set<unsigned> &Srcs) {
+  size_t Idx = size_t(I) * N + J;
+  std::optional<Rational> &W = Weights[Idx];
+  if (!W || C < *W) {
+    W = C;
+    Sources[Idx] = Srcs;
+  } else if (C == *W) {
+    Sources[Idx].insert(Srcs.begin(), Srcs.end());
+  }
+  if (I == J && C < Rational(0))
+    Consistent = false;
+}
+
+bool Dbm::close(bool InjectSkipLastPivot) {
+  for (unsigned K = 0; K < N; ++K) {
+    if (InjectSkipLastPivot && K + 1 == N)
+      continue;
+    for (unsigned I = 0; I < N; ++I) {
+      const std::optional<Rational> &WIK = Weights[size_t(I) * N + K];
+      if (!WIK)
+        continue;
+      for (unsigned J = 0; J < N; ++J) {
+        const std::optional<Rational> &WKJ = Weights[size_t(K) * N + J];
+        if (!WKJ)
+          continue;
+        Rational Via = *WIK + *WKJ;
+        size_t Idx = size_t(I) * N + J;
+        std::optional<Rational> &WIJ = Weights[Idx];
+        if (!WIJ || Via < *WIJ) {
+          WIJ = Via;
+          std::set<unsigned> Union = Sources[size_t(I) * N + K];
+          const std::set<unsigned> &Tail = Sources[size_t(K) * N + J];
+          Union.insert(Tail.begin(), Tail.end());
+          Sources[Idx] = std::move(Union);
+        }
+      }
+    }
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    const std::optional<Rational> &WII = Weights[size_t(I) * N + I];
+    if (WII && *WII < Rational(0))
+      Consistent = false;
+  }
+  return Consistent;
+}
+
+std::set<unsigned> Dbm::negativeCycleSources() const {
+  std::set<unsigned> Out;
+  for (unsigned I = 0; I < N; ++I) {
+    const std::optional<Rational> &WII = Weights[size_t(I) * N + I];
+    if (WII && *WII < Rational(0)) {
+      const std::set<unsigned> &Srcs = Sources[size_t(I) * N + I];
+      Out.insert(Srcs.begin(), Srcs.end());
+    }
+  }
+  return Out;
+}
+
+bool Dbm::triangleConsistent() const {
+  for (unsigned K = 0; K < N; ++K)
+    for (unsigned I = 0; I < N; ++I) {
+      const std::optional<Rational> &WIK = Weights[size_t(I) * N + K];
+      if (!WIK)
+        continue;
+      for (unsigned J = 0; J < N; ++J) {
+        const std::optional<Rational> &WKJ = Weights[size_t(K) * N + J];
+        if (!WKJ)
+          continue;
+        const std::optional<Rational> &WIJ = Weights[size_t(I) * N + J];
+        if (!WIJ || *WIK + *WKJ < *WIJ)
+          return false;
+      }
+    }
+  return true;
+}
+
+Dbm Dbm::widen(const Dbm &A, const Dbm &B) {
+  Dbm Out(A.N);
+  for (unsigned I = 0; I < A.N; ++I)
+    for (unsigned J = 0; J < A.N; ++J) {
+      size_t Idx = size_t(I) * A.N + J;
+      const std::optional<Rational> &WA = A.Weights[Idx];
+      const std::optional<Rational> &WB = B.Weights[Idx];
+      if (WA && WB && *WB <= *WA) {
+        Out.Weights[Idx] = WA;
+        Out.Sources[Idx] = A.Sources[Idx];
+      } else if (I == J) {
+        Out.Weights[Idx] = Rational(0);
+      } else {
+        Out.Weights[Idx] = std::nullopt;
+      }
+    }
+  return Out;
+}

@@ -247,6 +247,20 @@ Interval analysis::intervalFromKnownBits(const KnownBits &K) {
   return Interval::range(Signed(UMin), Signed(UMax));
 }
 
+std::optional<Rational> analysis::numericConstOf(const TermManager &Manager,
+                                                 Term T) {
+  switch (Manager.kind(T)) {
+  case Kind::ConstInt:
+    return Rational(Manager.intValue(T));
+  case Kind::ConstReal:
+    return Manager.realValue(T);
+  case Kind::ConstBitVec:
+    return Rational(Manager.bitVecValue(T).toSigned());
+  default:
+    return std::nullopt;
+  }
+}
+
 bool analysis::overflowImpossible(Kind GuardKind, const Interval &A,
                                   const Interval &B, unsigned Width,
                                   const KnownBits &KA, const KnownBits &KB) {
@@ -283,16 +297,7 @@ struct Harvest {
 };
 
 std::optional<Rational> constOf(const TermManager &M, Term T) {
-  switch (M.kind(T)) {
-  case Kind::ConstInt:
-    return Rational(M.intValue(T));
-  case Kind::ConstReal:
-    return M.realValue(T);
-  case Kind::ConstBitVec:
-    return Rational(M.bitVecValue(T).toSigned());
-  default:
-    return std::nullopt;
-  }
+  return numericConstOf(M, T);
 }
 
 bool isNumericVar(const TermManager &M, Term T) {

@@ -107,6 +107,12 @@ Interval remI(const Interval &A, const Interval &B);
 Rational widthRangeLo(unsigned Width);
 Rational widthRangeHi(unsigned Width);
 
+/// The exact rational value of a numeric constant term (Int, Real, or
+/// sign-interpreted BitVec); nullopt for anything else. Shared by the
+/// interval and relational (Zone/Octagon) fact harvesters so both sides
+/// of the translation read constants identically.
+std::optional<Rational> numericConstOf(const TermManager &Manager, Term T);
+
 /// Decides whether the overflow predicate \p GuardKind (BvSAddO, BvSSubO,
 /// BvSMulO, BvNegO, BvSDivO) provably cannot fire at \p Width given the
 /// operand intervals (\p B ignored for the unary BvNegO). This single

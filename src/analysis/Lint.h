@@ -49,7 +49,10 @@ struct LintFinding {
   LintSeverity Severity = LintSeverity::Error;
   /// Stable check identifier: "unguarded-overflow", "sort-mismatch",
   /// "non-boolean-assertion", "map-totality", "orphan-guard",
-  /// "contradictory-guard", "redundant-guard".
+  /// "contradictory-guard", "redundant-guard", "correlated-guard" (an
+  /// operation is overflow-safe only because of asserted variable
+  /// correlations the relational domain tracks — the note marking
+  /// relational guard elisions and elision opportunities).
   std::string Check;
   std::string Detail;
   Term Offender; ///< May be invalid for non-structural findings.
@@ -72,6 +75,11 @@ struct LintOptions {
   /// Cap on the interval engine's variable-variable fixpoint rounds.
   /// Must match the elision side (TransformOptions) for completeness.
   unsigned MaxRounds = 8;
+  /// Accept (and note, as "correlated-guard" warnings) operations whose
+  /// safety rests on relational (octagon) facts. Must match the elision
+  /// side's TransformOptions::Relational for completeness: with elision
+  /// relational and lint not, relationally elided output lints dirty.
+  bool Relational = true;
 };
 
 /// Lints a bounded assertion set structurally (well-sortedness, guard

@@ -7,6 +7,7 @@
 #include "analysis/Presolve.h"
 
 #include "analysis/Contract.h"
+#include "analysis/Zone.h"
 #include "smtlib/Printer.h"
 
 #include <algorithm>
@@ -99,9 +100,18 @@ private:
   /// materialization).
   std::vector<Term> Vars;
 
+  /// Feasible per-variable points from the last zone closure (the
+  /// shortest-distance potential function); pickValue() prefers them for
+  /// variables whose range stayed unbounded.
+  std::unordered_map<uint32_t, Rational> Potentials;
+
   bool Changed = false;
   bool Failed = false;
   unsigned FailedConjunct = 0;
+  /// Set when the relational pass (not a conjunct contraction) derived
+  /// the contradiction; RelFailRoots then carries the certificate.
+  bool RelFailed = false;
+  std::set<unsigned> RelFailRoots;
 
   void fail(unsigned CIdx) {
     if (!Failed) {
@@ -141,6 +151,8 @@ private:
   void polarity(Term T, uint8_t Mode,
                 std::unordered_map<uint32_t, uint8_t> &Out,
                 std::unordered_set<uint64_t> &Seen);
+
+  bool relationalPass();
 
   Value pickValue(Term Var) const;
   void buildSuggested(PresolveResult &R) const;
@@ -866,6 +878,77 @@ void Engine::pureLiteralPass() {
 }
 
 //===--------------------------------------------------------------------===//
+// Relational (zone) closure.
+//===--------------------------------------------------------------------===//
+
+/// One zone pass: harvest difference bounds from the surviving
+/// conjuncts, seed the current contracted ranges, close, and fold the
+/// closure's conclusions back. Returns true when some range tightened
+/// (the HC4 loop then re-enters with the new seeds); on an inconsistency
+/// sets Failed with the contributing assertions in RelFailRoots.
+bool Engine::relationalPass() {
+  Zone Z;
+  for (const Conjunct &C : Conjuncts)
+    if (!C.Dropped)
+      harvestZoneFacts(M, C.T, C.Root, Z);
+  // A zone with no var-var difference edge projects exactly the seeded
+  // HC4 ranges back out, so the pass is a no-op there; skip the closure
+  // entirely on relation-free systems.
+  if (Z.numVariables() == 0 || !Z.hasBinaryConstraints())
+    return false;
+  for (Term Var : Vars) {
+    if (!Z.hasVariable(Var.id()))
+      continue;
+    auto It = Ranges.find(Var.id());
+    if (It == Ranges.end())
+      continue;
+    auto SIt = Sources.find(Var.id());
+    Z.constrainVar(Var.id(), It->second,
+                   SIt != Sources.end() ? SIt->second : std::set<unsigned>{});
+  }
+  Z.close(Opts.InjectBadClosure);
+  if (!Z.consistent()) {
+    // A negative cycle: the named difference constraints are jointly
+    // unsatisfiable over the exact unbounded semantics.
+    RelFailed = true;
+    RelFailRoots = Z.negativeCycleSources();
+    Failed = true;
+    return false;
+  }
+  bool Tightened = false;
+  for (Term Var : Vars) {
+    if (!Z.hasVariable(Var.id()))
+      continue;
+    Interval Proj = Z.varInterval(Var.id());
+    if (!Proj.isTop()) {
+      Interval Cur = rangeOf(Var);
+      Interval R = meet(Cur, Proj);
+      if (M.sort(Var).isInt())
+        R = roundToIntI(R);
+      if (R.Empty) {
+        RelFailed = true;
+        RelFailRoots = Z.varIntervalSources(Var.id());
+        auto SIt = Sources.find(Var.id());
+        if (SIt != Sources.end())
+          RelFailRoots.insert(SIt->second.begin(), SIt->second.end());
+        Failed = true;
+        return false;
+      }
+      if (!(R == Cur)) {
+        Ranges[Var.id()] = R;
+        std::set<unsigned> Src = Z.varIntervalSources(Var.id());
+        Sources[Var.id()].insert(Src.begin(), Src.end());
+        invalidate();
+        Tightened = true;
+      }
+    }
+    if (std::optional<Rational> P = Z.potential(Var.id()))
+      Potentials[Var.id()] = *P;
+  }
+  return Tightened;
+}
+
+//===--------------------------------------------------------------------===//
 // Results.
 //===--------------------------------------------------------------------===//
 
@@ -876,6 +959,17 @@ Value Engine::pickValue(Term Var) const {
     return Value(It != BoolAssign.end() && It->second);
   }
   Interval R = rangeOf(Var);
+  // An unbounded range gives zero-or-endpoint no information to work
+  // with; the zone potential is a point that jointly satisfies every
+  // closed difference constraint, so prefer it there.
+  if (!R.isFinite()) {
+    auto PIt = Potentials.find(Var.id());
+    if (PIt != Potentials.end()) {
+      Rational P = S.isInt() ? Rational(PIt->second.floor()) : PIt->second;
+      if (R.contains(P))
+        return S.isInt() ? Value(P.floor()) : Value(P);
+    }
+  }
   Rational V(0);
   if (!R.contains(V)) {
     if (R.Lo)
@@ -894,6 +988,14 @@ void Engine::buildSuggested(PresolveResult &R) const {
 }
 
 void Engine::buildCertificate(PresolveResult &R) const {
+  if (RelFailed) {
+    // The zone closure found the contradiction: the provenance sets of
+    // the negative cycle (or of the emptied projection) name the exact
+    // participating assertions.
+    for (unsigned I : RelFailRoots)
+      R.Certificate.push_back({I, Roots[I]});
+    return;
+  }
   std::set<unsigned> Indices;
   const Conjunct &C = Conjuncts[FailedConjunct];
   Indices.insert(C.Root);
@@ -953,27 +1055,40 @@ PresolveResult Engine::run() {
   }
 
   unsigned Round = 0;
-  while (Round < Opts.MaxRounds && !Failed) {
-    Changed = false;
-    ++Round;
-    for (unsigned CI = 0; CI < Conjuncts.size() && !Failed; ++CI) {
-      Conjunct &C = Conjuncts[CI];
-      if (C.Dropped)
-        continue;
-      switch (tri(C.T)) {
-      case Tri::True:
-        C.Dropped = true;
-        Changed = true;
-        break;
-      case Tri::False:
-        fail(CI);
-        break;
-      case Tri::Unknown:
-        contractFormula(C.T, true, CI);
-        break;
+  unsigned RelPasses = 0;
+  while (!Failed) {
+    while (Round < Opts.MaxRounds && !Failed) {
+      Changed = false;
+      ++Round;
+      for (unsigned CI = 0; CI < Conjuncts.size() && !Failed; ++CI) {
+        Conjunct &C = Conjuncts[CI];
+        if (C.Dropped)
+          continue;
+        switch (tri(C.T)) {
+        case Tri::True:
+          C.Dropped = true;
+          Changed = true;
+          break;
+        case Tri::False:
+          fail(CI);
+          break;
+        case Tri::Unknown:
+          contractFormula(C.T, true, CI);
+          break;
+        }
       }
+      if (!Changed)
+        break;
     }
-    if (!Changed)
+    // Alternate with relational closure: the zone pass decides
+    // difference cycles HC4 cannot (it propagates one link per round,
+    // stalling on long chains) and its tightened projections re-seed
+    // another HC4 descent. The pass runs even with the round budget
+    // exhausted — closure is one shot, not a per-round propagation.
+    if (Failed || !Opts.Relational || RelPasses >= 3)
+      break;
+    ++RelPasses;
+    if (!relationalPass())
       break;
   }
   Out.Stats.Rounds = Round;

@@ -66,10 +66,24 @@ struct PresolveStats {
 
 struct PresolveOptions {
   unsigned MaxRounds = config::PresolveMaxRounds;
+  /// Alternate the HC4 interval loop with relational (zone/DBM) closure
+  /// passes: difference bounds harvested from the surviving conjuncts are
+  /// closed under Floyd-Warshall, negative cycles conclude TriviallyUnsat
+  /// (with the cycle's assertions as the certificate), and the closure's
+  /// per-variable projections re-seed interval contraction. Closure also
+  /// yields a feasible "potential" point per variable that pickValue()
+  /// prefers for unbounded ranges, letting TriviallySat fire on
+  /// anchor-free difference systems.
+  bool Relational = true;
   /// Fuzzer bug injection (--inject=bad-contract): contracts non-strict
   /// Int comparisons one off too tight, an unsound narrowing the
   /// presolve-equisat oracle must catch.
   bool InjectBadContract = false;
+  /// Fuzzer bug injection (--inject=bad-closure): drops every relaxation
+  /// through the last Floyd-Warshall pivot. Under-closure is sound for
+  /// the presolver's verdicts, so only the relational-soundness oracle's
+  /// triangle-consistency self-check exposes it.
+  bool InjectBadClosure = false;
 };
 
 /// One step of a TriviallyUnsat certificate: an original assertion that

@@ -6,6 +6,7 @@
 
 #include "benchgen/Generators.h"
 
+#include "staub/Config.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -524,7 +525,186 @@ GeneratedConstraint maskedContradiction(TermManager &M, unsigned Instance,
   return Out;
 }
 
+//===--------------------------------------------------------------------===//
+// Correlated (relational) suite.
+//===--------------------------------------------------------------------===//
+
+/// Negative difference cycle: x - y <= -a, y - z <= -b, z - x <= a+b-1.
+/// The cycle sums to -1, so the system is unsat — but no variable has any
+/// absolute bound, so interval contraction derives nothing and the
+/// bounded lane can only revert. Zone closure spots the negative cycle
+/// and concludes PresolvedUnsat with the three links as the certificate.
+GeneratedConstraint correlatedNegCycle(TermManager &M, unsigned Instance,
+                                       SplitMix64 &Rng) {
+  GeneratedConstraint Out;
+  Out.Family = "CorrNegCycle";
+  Out.Name = "corr_cycle_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Unsat;
+  int64_t A = 1 + static_cast<int64_t>(Rng.below(8));
+  int64_t B = 1 + static_cast<int64_t>(Rng.below(8));
+  Term X = M.mkVariable(varName("corr_cyc", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("corr_cyc", Instance, 1), Sort::integer());
+  Term Z = M.mkVariable(varName("corr_cyc", Instance, 2), Sort::integer());
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{X, Y}), intConst(M, -A)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{Y, Z}), intConst(M, -B)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{Z, X}), intConst(M, A + B - 1)));
+  return Out;
+}
+
+/// Consistent anchor-free cycle: the same shape with slack s >= 0 on the
+/// closing link, so the system is sat — but every model family is
+/// unbounded (shifting all variables preserves it), so no static box
+/// exists and the all-zero suggestion fails the first link. The zone's
+/// shortest-path potentials give a feasible point and the presolver
+/// answers PresolvedSat without a solver call.
+GeneratedConstraint correlatedSatCycle(TermManager &M, unsigned Instance,
+                                       SplitMix64 &Rng) {
+  GeneratedConstraint Out;
+  Out.Family = "CorrSatCycle";
+  Out.Name = "corr_pot_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t A = 1 + static_cast<int64_t>(Rng.below(8));
+  int64_t B = 1 + static_cast<int64_t>(Rng.below(8));
+  int64_t S = static_cast<int64_t>(Rng.below(5));
+  Term X = M.mkVariable(varName("corr_pot", Instance, 0), Sort::integer());
+  Term Y = M.mkVariable(varName("corr_pot", Instance, 1), Sort::integer());
+  Term Z = M.mkVariable(varName("corr_pot", Instance, 2), Sort::integer());
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{X, Y}), intConst(M, -A)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{Y, Z}), intConst(M, -B)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkSub(std::vector<Term>{Z, X}), intConst(M, A + B + S)));
+  Model Witness;
+  Witness.set(X, Value(BigInt(0)));
+  Witness.set(Y, Value(BigInt(A)));
+  Witness.set(Z, Value(BigInt(A + B)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
+/// Anchored difference chain, longer than the HC4 round budget: v_0..v_K
+/// with v_i - v_{i+1} <= 3 (asserted front to back), v_i >= 0, and one
+/// upper anchor v_K <= ~900 asserted last. Backward interval propagation
+/// reaches one link per round, so with K = 20 > PresolveMaxRounds the
+/// front variables stay unbounded and the width falls back to the
+/// constant assumption (12 bits). One zone closure bounds every variable
+/// by anchor + 3*K at once, so the relational pipeline infers width 11.
+/// A sum breaker v_0 + v_1 >= b (not zone-representable, and too slack
+/// for HC4 to contract against the wide chain ranges) fails at the
+/// presolver's endpoint suggestion (v_0 = 1, the rest 0), so neither
+/// configuration decides statically and both must translate — which is
+/// what makes the inferred-width delta observable.
+GeneratedConstraint correlatedChain(TermManager &M, unsigned Instance,
+                                    SplitMix64 &Rng) {
+  constexpr unsigned K = 20;
+  static_assert(K > config::PresolveMaxRounds,
+                "the chain must outrun the HC4 round budget");
+  GeneratedConstraint Out;
+  Out.Family = "CorrChain";
+  Out.Name = "corr_chain_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t Anchor = 880 + static_cast<int64_t>(Rng.below(40));
+  int64_t Breaker = 3 + static_cast<int64_t>(Rng.below(2));
+  std::vector<Term> V;
+  for (unsigned I = 0; I <= K; ++I)
+    V.push_back(
+        M.mkVariable(varName("corr_chain", Instance, I), Sort::integer()));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Ge, M.mkSub(std::vector<Term>{V[0], V[1]}), intConst(M, 1)));
+  for (unsigned I = 0; I < K; ++I)
+    Out.Assertions.push_back(M.mkCompare(
+        Kind::Le, M.mkSub(std::vector<Term>{V[I], V[I + 1]}),
+        intConst(M, 3)));
+  for (unsigned I = 0; I <= K; ++I)
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, V[I], intConst(M, 0)));
+  Out.Assertions.push_back(
+      M.mkCompare(Kind::Le, V[K], intConst(M, Anchor)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Ge, M.mkAdd(std::vector<Term>{V[0], V[1]}),
+      intConst(M, Breaker)));
+  Model Witness;
+  Witness.set(V[0], Value(BigInt(Breaker - 1)));
+  Witness.set(V[1], Value(BigInt(1)));
+  for (unsigned I = 2; I <= K; ++I)
+    Witness.set(V[I], Value(BigInt(0)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
+/// Banded chain with an end-to-end consumer: w_0..w_8 with |w_i - w_{i+1}|
+/// <= 3, a breaker w_0 + w_1 <= -3 (kills the all-zero point and the
+/// anchor-free potential point, which is identically zero here), and a
+/// consumer constraint on w_0 - w_8. The consumer's bvssubo guard is
+/// unprovable from width-clamped boxes (the operands span the whole
+/// range) but the octagon chains the eight band facts into
+/// |w_0 - w_8| <= 24, discharging it statically; the band and breaker
+/// guards must stay. No variable has an absolute bound, so only the
+/// relational lane ever elides here.
+GeneratedConstraint correlatedBands(TermManager &M, unsigned Instance,
+                                    SplitMix64 &Rng) {
+  constexpr unsigned K = 8;
+  GeneratedConstraint Out;
+  Out.Family = "CorrBands";
+  Out.Name = "corr_band_" + std::to_string(Instance);
+  Out.Expected = SolveStatus::Sat;
+  int64_t Consumer = -(40 + static_cast<int64_t>(Rng.below(20)));
+  std::vector<Term> W;
+  for (unsigned I = 0; I <= K; ++I)
+    W.push_back(
+        M.mkVariable(varName("corr_band", Instance, I), Sort::integer()));
+  for (unsigned I = 0; I < K; ++I) {
+    Term Diff = M.mkSub(std::vector<Term>{W[I], W[I + 1]});
+    Out.Assertions.push_back(M.mkCompare(Kind::Le, Diff, intConst(M, 3)));
+    Out.Assertions.push_back(M.mkCompare(Kind::Ge, Diff, intConst(M, -3)));
+  }
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Le, M.mkAdd(std::vector<Term>{W[0], W[1]}), intConst(M, -3)));
+  Out.Assertions.push_back(M.mkCompare(
+      Kind::Ge, M.mkSub(std::vector<Term>{W[0], W[K]}),
+      intConst(M, Consumer)));
+  Model Witness;
+  Witness.set(W[0], Value(BigInt(-2)));
+  for (unsigned I = 1; I <= K; ++I)
+    Witness.set(W[I], Value(BigInt(-3)));
+  Out.Planted = std::move(Witness);
+  return Out;
+}
+
 } // namespace
+
+std::vector<GeneratedConstraint>
+staub::generateCorrelatedSuite(TermManager &Manager,
+                               const BenchConfig &Config) {
+  SplitMix64 Rng(Config.Seed ^ 0xC0B8E1A7ull);
+  std::vector<GeneratedConstraint> Suite;
+  Suite.reserve(Config.Count);
+  for (unsigned I = 0; I < Config.Count; ++I) {
+    // The instance offset keeps variable names disjoint from the other
+    // suites when several live in one manager.
+    unsigned Instance = 40000 + I;
+    GeneratedConstraint C;
+    switch (I % 4) {
+    case 0:
+      C = correlatedNegCycle(Manager, Instance, Rng);
+      break;
+    case 1:
+      C = correlatedSatCycle(Manager, Instance, Rng);
+      break;
+    case 2:
+      C = correlatedChain(Manager, Instance, Rng);
+      break;
+    default:
+      C = correlatedBands(Manager, Instance, Rng);
+      break;
+    }
+    Suite.push_back(std::move(C));
+  }
+  return Suite;
+}
 
 std::vector<GeneratedConstraint>
 staub::generateEscalationSuite(TermManager &Manager,

@@ -96,6 +96,22 @@ generateStaticSuite(TermManager &Manager, const BenchConfig &Config);
 std::vector<GeneratedConstraint>
 generateEscalationSuite(TermManager &Manager, const BenchConfig &Config);
 
+/// The relational domain's dedicated suite (bench_presolve, octagon/zone
+/// section of docs/ANALYSIS.md): an Int mix built entirely from variable
+/// correlations (`x - y <= c`, band constraints, difference chains) that
+/// interval reasoning alone cannot exploit. Four families, cycled:
+/// negative difference cycles (unsat by zone closure, undecidable by
+/// boxes), consistent anchor-free cycles (sat at the closure's potential
+/// point, no finite box exists), long anchored difference chains whose
+/// backward propagation exceeds the HC4 round budget (relational closure
+/// makes every range finite, dropping the inferred width below the
+/// constant heuristic), and banded chains whose end-to-end difference
+/// guard only the octagon can discharge. Ground truth is planted
+/// throughout; the harness cross-checks that `--no-relational` agrees on
+/// every decisive verdict.
+std::vector<GeneratedConstraint>
+generateCorrelatedSuite(TermManager &Manager, const BenchConfig &Config);
+
 /// staubd's "near-duplicate VC stream" (bench_server, docs/SERVER.md):
 /// \p Bases base formulas, each emitted as \p Variants queries that share
 /// every conjunct except one. A base is an Int box plus an additive

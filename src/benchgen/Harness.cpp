@@ -43,6 +43,8 @@ EvalRecord evaluateOne(TermManager &Manager, const GeneratedConstraint &C,
   R.ChosenWidth = Outcome.ChosenWidth;
   R.GuardsEmitted = Outcome.GuardsEmitted;
   R.GuardsElided = Outcome.GuardsElided;
+  R.ZoneFactsHarvested = Outcome.ZoneFactsHarvested;
+  R.RelationalGuardsElided = Outcome.RelationalGuardsElided;
   R.EscalationSteps = Outcome.EscalationSteps;
   R.ClausesReused = Outcome.ClausesReused;
   R.SessionBlastCacheHits = Outcome.SessionBlastCacheHits;
@@ -105,6 +107,8 @@ void evaluateOneConfigs(TermManager &Manager, const GeneratedConstraint &C,
     R.ChosenWidth = Outcome.ChosenWidth;
     R.GuardsEmitted = Outcome.GuardsEmitted;
     R.GuardsElided = Outcome.GuardsElided;
+    R.ZoneFactsHarvested = Outcome.ZoneFactsHarvested;
+    R.RelationalGuardsElided = Outcome.RelationalGuardsElided;
     R.EscalationSteps = Outcome.EscalationSteps;
     R.ClausesReused = Outcome.ClausesReused;
     R.SessionBlastCacheHits = Outcome.SessionBlastCacheHits;

@@ -38,6 +38,11 @@ struct EvalRecord {
   /// interval analysis (docs/ANALYSIS.md).
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Relational elision counters (staub/Staub.h): octagon facts harvested
+  /// from the original assertions, and guards only the relational domain
+  /// could discharge (a subset of GuardsElided).
+  unsigned ZoneFactsHarvested = 0;
+  unsigned RelationalGuardsElided = 0;
   /// Width-escalation ladder counters (staub/Staub.h).
   unsigned EscalationSteps = 0;
   uint64_t ClausesReused = 0;

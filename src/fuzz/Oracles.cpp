@@ -7,6 +7,8 @@
 #include "fuzz/Oracles.h"
 #include "analysis/Lint.h"
 #include "analysis/Presolve.h"
+#include "analysis/Octagon.h"
+#include "analysis/Zone.h"
 #include "fuzz/Rewrite.h"
 #include "smtlib/Parser.h"
 #include "smtlib/Printer.h"
@@ -708,6 +710,99 @@ checkCacheConsistency(TermManager &Manager, const FuzzInstance &Instance,
   return std::nullopt;
 }
 
+/// relational-soundness: the zone/octagon layer (analysis/Zone.h) must be
+/// a conservative abstraction of the instance. Three claims:
+///
+///  1. close() leaves a triangle-consistent matrix: for all I,J,K,
+///     D(I,J) <= D(I,K) + D(K,J). Everything downstream (projections,
+///     potentials, negative-cycle certificates, pairwise bounds) assumes
+///     the matrix is shortest-path closed, and this self-check is the
+///     only oracle that can see *under*-closure — dropped relaxations
+///     only ever make verdicts more conservative, never wrong, which is
+///     exactly why --inject=bad-closure must be caught here.
+///  2. The closure never excludes a real model: when the planted witness
+///     re-validates on the original right here, every registered
+///     variable's closure projection contains its value, and the zone
+///     cannot have reported a negative cycle at all.
+///  3. The relational pipeline is a pure strengthening: runStaub with and
+///     without Relational may differ in route and speed but never
+///     disagree decisively on satisfiability.
+std::optional<Violation>
+checkRelationalSoundness(TermManager &Manager, const FuzzInstance &Instance,
+                         SolverBackend &Backend,
+                         const OracleOptions &Options) {
+  analysis::Zone Z;
+  for (unsigned I = 0; I < Instance.Assertions.size(); ++I)
+    analysis::harvestZoneFacts(Manager, Instance.Assertions[I], I, Z);
+
+  bool Consistent =
+      Z.close(Options.Inject == BugInjection::BadClosure);
+  if (Consistent && !Z.triangleConsistent())
+    return makeViolation("relational-soundness",
+                         "zone closure left a triangle-inconsistent matrix",
+                         Instance);
+
+  // Model containment. Only claimed when the witness re-validates on the
+  // original right here, so the check never inherits a stale label.
+  if (Instance.Planted) {
+    std::optional<bool> OnOriginal = evaluateConjunction(
+        Manager, Instance.Assertions, *Instance.Planted);
+    if (OnOriginal.value_or(false)) {
+      if (!Consistent)
+        return makeViolation(
+            "relational-soundness",
+            "zone closure reported a negative cycle on a satisfiable system",
+            Instance);
+      for (uint32_t VarId : Z.variables()) {
+        const Value *V = Instance.Planted->get(Term(VarId));
+        if (!V || (!V->isInt() && !V->isReal()))
+          continue;
+        Rational ModelValue = V->isInt() ? Rational(V->asInt()) : V->asReal();
+        if (!Z.varInterval(VarId).contains(ModelValue))
+          return makeViolation(
+              "relational-soundness",
+              "zone projection excludes a re-validated planted model value",
+              Instance);
+      }
+    }
+  }
+
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+
+  // Pipeline agreement: relational on vs. off. Only worth two solver
+  // runs when the relational passes can actually fire: the presolver's
+  // zone pass needs a var-var difference edge, and elision's octagon
+  // needs a binary or op-sourced fact (mirroring the gates in
+  // Presolve.cpp and Transform.cpp). Without either, the two
+  // configurations are the same code path and the comparison is vacuous.
+  if (!Z.hasBinaryConstraints()) {
+    std::vector<analysis::RelFact> Facts =
+        analysis::harvestRelationalFacts(Manager, Instance.Assertions);
+    if (std::none_of(Facts.begin(), Facts.end(),
+                     [](const analysis::RelFact &F) {
+                       return F.SY != 0 || F.HasSource;
+                     }))
+      return std::nullopt;
+  }
+  StaubOutcome Rel = runStaub(Manager, Instance.Assertions, Backend,
+                              pipelineOptions(Options));
+  if (stopRequested(Options.Cancel))
+    return std::nullopt;
+  StaubOptions Plain = pipelineOptions(Options);
+  Plain.Relational = false;
+  StaubOutcome NoRel = runStaub(Manager, Instance.Assertions, Backend, Plain);
+  if (isDecisive(Rel.Path) && isDecisive(NoRel.Path)) {
+    bool RelSat = Rel.Path != StaubPath::PresolvedUnsat;
+    bool NoRelSat = NoRel.Path != StaubPath::PresolvedUnsat;
+    if (RelSat != NoRelSat)
+      return makeViolation(
+          "relational-soundness",
+          "relational and --no-relational pipelines disagree", Instance);
+  }
+  return std::nullopt;
+}
+
 using OracleFn = std::optional<Violation> (*)(TermManager &,
                                               const FuzzInstance &,
                                               SolverBackend &,
@@ -730,6 +825,7 @@ constexpr NamedOracle StageOracles[] = {
     {"presolve-equisat", checkPresolveEquisat},
     {"escalation-equivalence", checkEscalationEquivalence},
     {"cache-consistency", checkCacheConsistency},
+    {"relational-soundness", checkRelationalSoundness},
 };
 
 } // namespace

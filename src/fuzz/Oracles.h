@@ -48,6 +48,15 @@
 ///                              StaubPath of a cold fresh-manager run,
 ///                              and cached sat models re-verify (catches
 ///                              --inject=bad-digest)
+///   relational-soundness       the zone closure over the instance's
+///                              difference atoms is triangle-consistent
+///                              after close(), its projections contain
+///                              every re-validated planted model, a
+///                              negative-cycle verdict never hits a
+///                              satisfiable system, and the relational
+///                              and --no-relational pipelines never
+///                              disagree decisively (catches
+///                              --inject=bad-closure)
 ///
 /// Every oracle treats Unknown as vacuous, so time budgets shrink coverage
 /// but never cause false alarms. The BugInjection hook deliberately breaks
@@ -101,6 +110,12 @@ enum class BugInjection : uint8_t {
   /// collide and the shards serve CNF templates blasted from a different
   /// constraint. cache-consistency must fire.
   BadDigest,
+  /// Make the zone closure drop every relaxation through the last
+  /// Floyd-Warshall pivot (analysis::PresolveOptions::InjectBadClosure).
+  /// Under-closure never produces a wrong verdict, so only the
+  /// relational-soundness oracle's triangle-consistency self-check can
+  /// expose it.
+  BadClosure,
 };
 
 /// One fuzz input: a constraint plus whatever ground truth the generator

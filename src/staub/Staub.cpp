@@ -184,7 +184,9 @@ StaubOutcome staub::runStaub(TermManager &Manager,
   bool PresolveRan = false;
   bool UsePresolvedSet = false;
   if (Options.Presolve) {
-    Pre = analysis::presolve(Manager, Assertions);
+    analysis::PresolveOptions POpts;
+    POpts.Relational = Options.Relational;
+    Pre = analysis::presolve(Manager, Assertions, POpts);
     PresolveRan = true;
     Outcome.Presolve = Pre.Stats;
     Outcome.PresolveCertificate = Pre.Certificate;
@@ -207,6 +209,7 @@ StaubOutcome staub::runStaub(TermManager &Manager,
   TransformResult Transform;
   TransformOptions TOpts;
   TOpts.ElideGuards = Options.ElideGuards;
+  TOpts.Relational = Options.Relational;
   TOpts.Escalate = Options.Escalate;
   if (*SortKindUsed == SortKind::Int) {
     unsigned Width;
@@ -275,6 +278,8 @@ StaubOutcome staub::runStaub(TermManager &Manager,
   Outcome.BoundedAssertions = Transform.Assertions;
   Outcome.GuardsEmitted = Transform.GuardsEmitted;
   Outcome.GuardsElided = Transform.GuardsElided;
+  Outcome.ZoneFactsHarvested = Transform.ZoneFactsHarvested;
+  Outcome.RelationalGuardsElided = Transform.RelationalGuardsElided;
 
   // Optional bounded-theory optimizer (SLOT, RQ2).
   std::vector<Term> ToSolve = Transform.Assertions;

@@ -36,6 +36,12 @@ struct StaubOptions {
   /// Statically discharge overflow guards proven impossible at the chosen
   /// width (analysis/Interval.h) and drop them before solving.
   bool ElideGuards = true;
+  /// Use the relational (zone/octagon) domain throughout the pipeline:
+  /// the presolver alternates HC4 with zone closure (deciding difference
+  /// cycles statically) and guard elision additionally discharges guards
+  /// provable from `x - y <= c`-shaped correlations. `staub
+  /// --no-relational` clears this; verdicts must agree either way.
+  bool Relational = true;
   /// Width policy. The default follows the paper's Fig. 1b: variables take
   /// the assumption width x (largest constant + 1) and the overflow guards
   /// keep intermediates honest. Setting this uses the abstract
@@ -113,6 +119,11 @@ struct StaubOutcome {
   /// Overflow guards kept vs. statically discharged (Int lane).
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Relational elision counters (Int lane): octagon facts harvested
+  /// from the original assertions, and guards only the relational domain
+  /// could discharge (a subset of GuardsElided).
+  unsigned ZoneFactsHarvested = 0;
+  unsigned RelationalGuardsElided = 0;
   /// Width-escalation ladder counters (zero when the ladder never ran).
   unsigned EscalationSteps = 0;    ///< Widths tried beyond the inferred one.
   uint64_t ClausesReused = 0;      ///< Learnt clauses alive entering steps.

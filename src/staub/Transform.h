@@ -36,6 +36,13 @@ struct TransformOptions {
   /// provability predicate, so lint accepts elided output by
   /// construction.
   bool ElideGuards = true;
+  /// Additionally discharge guards via the relational (octagon) domain:
+  /// facts like `x - y <= c` harvested from the original assertions prove
+  /// guards the per-variable interval projections cannot (e.g. the
+  /// subtraction under a correlated difference bound). Sequential
+  /// elide-and-revalidate keeps the final state exactly reproducible by
+  /// staub-lint's one-pass fact-validity rule. Requires ElideGuards.
+  bool Relational = true;
   /// Allow the escalation driver to retry this translation at larger
   /// widths when a bounded-unsat core blames only the overflow guards
   /// (incremental width-escalation ladder). Off reproduces the paper's
@@ -70,6 +77,12 @@ struct TransformResult {
   /// Overflow guards kept in Assertions vs. statically discharged.
   unsigned GuardsEmitted = 0;
   unsigned GuardsElided = 0;
+  /// Relational facts (octagon atoms) harvested from the original
+  /// assertions during the relational elision pass.
+  unsigned ZoneFactsHarvested = 0;
+  /// Guards discharged by the relational pass specifically (a subset of
+  /// GuardsElided: classic interval elision could not prove these).
+  unsigned RelationalGuardsElided = 0;
 };
 
 /// Translates Int assertions to bitvectors of width \p Width. Fails when

@@ -28,6 +28,48 @@ TEST(GeneratorsTest, Determinism) {
   }
 }
 
+TEST(GeneratorsTest, CorrelatedSuiteIsDeterministic) {
+  TermManager M1, M2;
+  BenchConfig Config;
+  Config.Count = 8;
+  auto A = generateCorrelatedSuite(M1, Config);
+  auto B = generateCorrelatedSuite(M2, Config);
+  ASSERT_EQ(A.size(), 8u);
+  ASSERT_EQ(B.size(), A.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Family, B[I].Family);
+    EXPECT_EQ(A[I].Expected, B[I].Expected);
+    EXPECT_EQ(A[I].Assertions.size(), B[I].Assertions.size());
+  }
+}
+
+TEST(GeneratorsTest, CorrelatedSuitePlantsGroundTruthThroughout) {
+  // Every correlated instance carries a verdict, and every sat instance
+  // a witness the exact evaluator accepts — the suite exists to measure
+  // relational-vs-interval deltas, so its labels must be beyond doubt.
+  TermManager M;
+  BenchConfig Config;
+  Config.Count = 12;
+  auto Suite = generateCorrelatedSuite(M, Config);
+  ASSERT_EQ(Suite.size(), 12u);
+  unsigned SatCases = 0, UnsatCases = 0;
+  for (const GeneratedConstraint &C : Suite) {
+    ASSERT_TRUE(C.Expected.has_value()) << C.Name;
+    if (*C.Expected == SolveStatus::Unsat) {
+      ++UnsatCases;
+      continue;
+    }
+    ++SatCases;
+    ASSERT_TRUE(C.Planted.has_value()) << C.Name;
+    EXPECT_TRUE(evaluatesToTrue(M, M.mkAnd(C.Assertions), *C.Planted))
+        << C.Name;
+  }
+  // All four families cycle through a 12-instance suite.
+  EXPECT_GE(SatCases, 6u);
+  EXPECT_GE(UnsatCases, 3u);
+}
+
 TEST(GeneratorsTest, MotivatingExampleMatchesPaper) {
   TermManager M;
   GeneratedConstraint C = motivatingExample(M);

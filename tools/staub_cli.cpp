@@ -28,8 +28,11 @@
 ///   --no-presolve         skip the interval-contraction presolver
 ///   --no-escalate         revert on bounded-unsat instead of escalating
 ///                         the width through an incremental session
-///   --stats               print timing decomposition + presolve and
-///                         escalation counters
+///   --no-relational       intervals only: skip the zone/octagon passes
+///                         in presolve, width refinement, and guard
+///                         elision (docs/ANALYSIS.md)
+///   --stats               print timing decomposition + presolve,
+///                         escalation, and relational counters
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +63,7 @@ struct CliOptions {
   bool Stats = false;
   bool NoPresolve = false;
   bool NoEscalate = false;
+  bool NoRelational = false;
   std::optional<unsigned> FixedWidth;
   double TimeoutSeconds = 30.0;
   unsigned Jobs = 2;
@@ -70,8 +74,8 @@ void printUsage() {
       stderr,
       "usage: staub [--solver=z3|minismt] [--portfolio] [--fixed-width=N]\n"
       "             [--root-width] [--emit-bounded] [--lint] [--timeout=S]\n"
-      "             [--jobs=N] [--no-presolve] [--no-escalate] [--stats]\n"
-      "             [file.smt2]\n");
+      "             [--jobs=N] [--no-presolve] [--no-escalate]\n"
+      "             [--no-relational] [--stats] [file.smt2]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -98,6 +102,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.NoPresolve = true;
     } else if (Arg == "--no-escalate") {
       Options.NoEscalate = true;
+    } else if (Arg == "--no-relational") {
+      Options.NoRelational = true;
     } else if (Arg.rfind("--fixed-width=", 0) == 0) {
       int Width = std::atoi(Arg.c_str() + 14);
       if (Width < 1 || Width > 512) {
@@ -170,6 +176,7 @@ int main(int Argc, char **Argv) {
   Options.UseRootWidth = Cli.RootWidth;
   Options.Presolve = !Cli.NoPresolve;
   Options.Escalate = !Cli.NoEscalate;
+  Options.Relational = !Cli.NoRelational;
   Options.Solve.TimeoutSeconds = Cli.TimeoutSeconds;
 
   if (Cli.EmitBounded || Cli.Lint) {
@@ -289,6 +296,9 @@ int main(int Argc, char **Argv) {
                  Outcome.EscalationSteps,
                  static_cast<unsigned long long>(Outcome.ClausesReused),
                  static_cast<unsigned long long>(Outcome.SessionBlastCacheHits));
+    std::fprintf(stderr,
+                 "; relational zone_facts=%u relational_guards_elided=%u\n",
+                 Outcome.ZoneFactsHarvested, Outcome.RelationalGuardsElided);
     std::fprintf(stderr,
                  "; cross-cache hits=%llu misses=%llu clauses_spliced=%llu\n",
                  static_cast<unsigned long long>(Outcome.CrossBlastCacheHits),

@@ -30,6 +30,10 @@
 ///   --inject=bad-core      make the escalation ladder report guard-free
 ///                          base cores as guard-only (escalation-equivalence
 ///                          sensitivity check: MUST find bugs)
+///   --inject=bad-closure   make the zone closure drop relaxations through
+///                          the last Floyd-Warshall pivot
+///                          (relational-soundness sensitivity check: MUST
+///                          find bugs)
 ///   --corpus=DIR       persist shrunk reproducers under DIR
 ///   --max-violations=N stop after N violations (default 10)
 ///
@@ -51,7 +55,8 @@ void printUsage() {
       "usage: staub-fuzz [--seed=N] [--iters=N] [--time-budget=S] [--jobs=N]\n"
       "                  [--theory=int|real|fp] [--solve-timeout=S] [--use-z3]\n"
       "                  [--no-portfolio]\n"
-      "                  [--inject=drop-guards|bad-contract|bad-core|bad-digest]\n"
+      "                  [--inject=drop-guards|bad-contract|bad-core|bad-digest\n"
+      "                   |bad-closure]\n"
       "                  [--corpus=DIR] [--max-violations=N]\n");
 }
 
@@ -106,6 +111,8 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &Options) {
         Options.Inject = BugInjection::BadCore;
       } else if (Bug == "bad-digest") {
         Options.Inject = BugInjection::BadDigest;
+      } else if (Bug == "bad-closure") {
+        Options.Inject = BugInjection::BadClosure;
       } else {
         std::fprintf(stderr, "error: unknown injection '%s'\n", Bug.c_str());
         return false;
@@ -149,6 +156,8 @@ int main(int Argc, char **Argv) {
                   ? " INJECT=bad-core"
               : Options.Inject == BugInjection::BadDigest
                   ? " INJECT=bad-digest"
+              : Options.Inject == BugInjection::BadClosure
+                  ? " INJECT=bad-closure"
                   : "");
 
   FuzzReport Report = runFuzzer(Options);
